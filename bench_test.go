@@ -1,0 +1,338 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus end-to-end performance benchmarks of the pipeline
+// stages. Each BenchmarkTableX/BenchmarkFigureX target runs the exact
+// driver that cmd/experiments prints, so `go test -bench=Figure` both
+// times the reproduction and re-validates it (each iteration asserts the
+// paper's shape).
+package pagequality_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pagequality/internal/experiments"
+	"pagequality/internal/graph"
+	"pagequality/internal/model"
+	"pagequality/internal/pagerank"
+	"pagequality/internal/quality"
+	"pagequality/internal/snapshot"
+	"pagequality/internal/usersim"
+	"pagequality/internal/webcorpus"
+)
+
+// benchHeadlineConfig is the corpus used by the corpus-scale benchmarks:
+// smaller than the paper's 154 sites so a -bench run stays in seconds, but
+// identical in shape. cmd/experiments runs the full 154-site version.
+func benchHeadlineConfig() experiments.HeadlineConfig {
+	cfg := experiments.DefaultHeadlineConfig()
+	cfg.Corpus.Sites = 30
+	cfg.Corpus.BirthRate = 6
+	cfg.Corpus.Seed = 1
+	return cfg
+}
+
+// BenchmarkTable1Notation regenerates the notation table (Table 1).
+func BenchmarkTable1Notation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1()) != 8 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the sigmoidal popularity evolution.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if last := res.Trajectory.P[len(res.Trajectory.P)-1]; math.Abs(last-0.8) > 0.01 {
+			b.Fatalf("figure 1 plateau %g", last)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the I(p,t)/P(p,t) complementarity curves.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.I[0] < 0.19 {
+			b.Fatalf("figure 2 early I = %g", res.I[0])
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the flat Theorem-2 line.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Sum {
+			if math.Abs(s-0.2) > 1e-9 {
+				b.Fatalf("figure 3 not flat: %g", s)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the snapshot timeline.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if g := experiments.Figure4().Gaps(); g[2] != 18 {
+			b.Fatalf("figure 4 gaps %v", g)
+		}
+	}
+}
+
+// BenchmarkHeadlineError regenerates the §8.2 headline numbers (avg
+// relative error of Q vs PR predicting the future PageRank).
+func BenchmarkHeadlineError(b *testing.B) {
+	cfg := benchHeadlineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHeadline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AvgErrQ >= res.AvgErrPR {
+			b.Fatalf("shape violated: %g >= %g", res.AvgErrQ, res.AvgErrPR)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the error histogram.
+func BenchmarkFigure5(b *testing.B) {
+	cfg := benchHeadlineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHeadline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FracFirstQ <= res.FracFirstPR {
+			b.Fatalf("first-bin shape violated: %g <= %g", res.FracFirstQ, res.FracFirstPR)
+		}
+	}
+}
+
+// BenchmarkAblationC regenerates the C sweep (Ablation A).
+func BenchmarkAblationC(b *testing.B) {
+	cfg := benchHeadlineConfig()
+	cs := []float64{0.1, 1.0, 2.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationC(cfg, cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 3 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// BenchmarkAblationForgetting regenerates Ablation B.
+func BenchmarkAblationForgetting(b *testing.B) {
+	cfg := benchHeadlineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationForgetting(cfg, 0.01, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWindow regenerates Ablation C.
+func BenchmarkAblationWindow(b *testing.B) {
+	cfg := benchHeadlineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWindow(cfg, []float64{1, 8}, 26); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidateModel regenerates the simulation-vs-theory check.
+func BenchmarkValidateModel(b *testing.B) {
+	cfg := usersim.Config{
+		Users: 20000, VisitRate: 20000, Quality: 0.5,
+		InitialLikes: 100, DT: 0.02, Seed: 42,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.ValidateModel(cfg, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.MaxAbsDiff > 0.1 {
+			b.Fatalf("model deviation %g", v.MaxAbsDiff)
+		}
+	}
+}
+
+// ---- pipeline-stage performance benchmarks ----
+
+// BenchmarkCorpusGrowth times growing and burning in a corpus.
+func BenchmarkCorpusGrowth(b *testing.B) {
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 30
+	cfg.BirthRate = 6
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := webcorpus.New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotEncodeDecode times store persistence of a four-crawl
+// series.
+func BenchmarkSnapshotEncodeDecode(b *testing.B) {
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 30
+	cfg.BirthRate = 6
+	cfg.Seed = 1
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snaps, err := sim.RunSchedule(webcorpus.PaperSchedule())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := snapshot.Encode(snaps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snapshot.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlignAndPageRankSeries times alignment plus the four PageRank
+// computations of the experiment.
+func BenchmarkAlignAndPageRankSeries(b *testing.B) {
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 30
+	cfg.BirthRate = 6
+	cfg.Seed = 1
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snaps, err := sim.RunSchedule(webcorpus.PaperSchedule())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al, err := snapshot.Align(snaps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := al.PageRankSeries(pagerank.Options{Variant: pagerank.VariantPaper}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQualityEstimate times the estimator itself over a realistic
+// series (isolated from corpus and PageRank costs).
+func BenchmarkQualityEstimate(b *testing.B) {
+	n := 100_000
+	ranks := make([][]float64, 3)
+	for k := range ranks {
+		ranks[k] = make([]float64, n)
+		for i := range ranks[k] {
+			ranks[k][i] = 0.15 + float64((i*7+k*13)%100)/50
+		}
+	}
+	cfg := quality.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quality.EstimateFromSeries(ranks, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheorem1Eval times the closed-form popularity evaluation.
+func BenchmarkTheorem1Eval(b *testing.B) {
+	p := model.Params{Q: 0.8, N: 1e8, R: 1e8, P0: 1e-8}
+	for i := 0; i < b.N; i++ {
+		if p.EstimateQ(float64(i%200)) < 0 {
+			b.Fatal("negative estimate")
+		}
+	}
+}
+
+// BenchmarkPageRank100k times PageRank on a 100k-node synthetic web.
+func BenchmarkPageRank100k(b *testing.B) {
+	g, err := graph.GeneratePreferentialAttachment(
+		graph.PreferentialAttachmentConfig{Nodes: 100_000, OutPerNode: 8},
+		newRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := graph.Freeze(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pagerank.Compute(c, pagerank.Options{Tol: 1e-8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// newRand is a tiny helper keeping the benchmark imports tidy.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// BenchmarkAblationEstimator regenerates Ablation D (endpoint vs
+// regression).
+func BenchmarkAblationEstimator(b *testing.B) {
+	cfg := benchHeadlineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationEstimator(cfg, 5, 2, 26)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AvgErrRegression > res.AvgErrEndpoint*1.05 {
+			b.Fatalf("regression materially worse: %g vs %g", res.AvgErrRegression, res.AvgErrEndpoint)
+		}
+	}
+}
+
+// BenchmarkAblationSolver regenerates Ablation E (PageRank solver
+// comparison) at a bench-friendly graph size.
+func BenchmarkAblationSolver(b *testing.B) {
+	cfg := benchHeadlineConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationPageRankSolver(cfg, 20_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 3 {
+			b.Fatal("incomplete solver sweep")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/snapshot"
+)
+
+func storeWithBowTie(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	g, err := graph.GenerateBowTie(graph.BowTieConfig{
+		Core: 40, In: 20, Out: 25, Tendrils: 10, AvgDegree: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "web.pqs")
+	if err := snapshot.WriteFile(path, []snapshot.Snapshot{
+		{Label: "t1", Time: 0, Graph: g},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeReportsStructure(t *testing.T) {
+	path := storeWithBowTie(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"95 pages", "bow-tie decomposition",
+		"CORE", "IN", "OUT", "TENDRIL",
+		"strongly connected components",
+		"in-degree", "out-degree", "dangling pages",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The generated core has 40 pages; the report must say so.
+	if !strings.Contains(out, "CORE") || !strings.Contains(out, "40") {
+		t.Fatalf("core size missing:\n%s", out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "none.pqs")}, &buf); err == nil {
+		t.Fatal("missing store accepted")
+	}
+	path := storeWithBowTie(t)
+	if err := run([]string{"-in", path, "-snapshot", "zz"}, &buf); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestAnalyzeReportsReciprocityAndClustering(t *testing.T) {
+	path := storeWithBowTie(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"edge reciprocity", "clustering coefficient"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}

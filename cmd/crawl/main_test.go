@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pagequality/internal/crawler"
+	"pagequality/internal/pagestore"
+	"pagequality/internal/snapshot"
+	"pagequality/internal/webcorpus"
+	"pagequality/internal/webserver"
+)
+
+func startServer(t *testing.T, sim *webcorpus.Sim) *httptest.Server {
+	t.Helper()
+	srv, err := webserver.New(sim.Graph().Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCrawlCLIAppendsSnapshots(t *testing.T) {
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 6
+	cfg.InitialPagesPerSite = 5
+	cfg.Users = 2000
+	cfg.VisitRate = 2000
+	cfg.LinkProb = 0.2
+	cfg.BirthRate = 1
+	cfg.BurnInWeeks = 12
+	cfg.Seed = 9
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(t.TempDir(), "crawled.pqs")
+
+	// First crawl at week 0.
+	ts1 := startServer(t, sim)
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-seeds", ts1.URL + "/seeds.txt", "-store", store, "-label", "t1", "-week", "0",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "appended snapshot t1") {
+		t.Fatalf("missing confirmation:\n%s", buf.String())
+	}
+
+	// Evolve and crawl again (defaults: label t2, week 4).
+	sim.AdvanceTo(4)
+	ts2 := startServer(t, sim)
+	buf.Reset()
+	if err := run([]string{"-seeds", ts2.URL + "/seeds.txt", "-store", store}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "appended snapshot t2 (week 4.0)") {
+		t.Fatalf("default label/week wrong:\n%s", buf.String())
+	}
+
+	snaps, err := snapshot.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("store has %d snapshots", len(snaps))
+	}
+	// Crawled snapshots align on canonical URLs across server instances.
+	al, err := snapshot.Align(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.NumPages() == 0 {
+		t.Fatal("no common pages across crawls")
+	}
+	for _, u := range al.URLs {
+		if !strings.Contains(u, ".example/") {
+			t.Fatalf("aligned URL %q is not canonical", u)
+		}
+	}
+}
+
+func TestCrawlCLISeedFlagAndCaps(t *testing.T) {
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 4
+	cfg.InitialPagesPerSite = 5
+	cfg.Users = 2000
+	cfg.VisitRate = 2000
+	cfg.LinkProb = 0.2
+	cfg.BurnInWeeks = 10
+	cfg.Seed = 2
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t, sim)
+	store := filepath.Join(t.TempDir(), "s.pqs")
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", ts.URL + "/p/0.html", "-store", store, "-maxpages", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := snapshot.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps[0].Graph.NumNodes() > 3 {
+		t.Fatalf("maxpages violated: %d nodes", snaps[0].Graph.NumNodes())
+	}
+}
+
+func TestCrawlCLIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+	if err := run([]string{"-seed", "http://x/", "-seeds", "http://x/s.txt"}, &buf); err == nil {
+		t.Fatal("both seed flags accepted")
+	}
+	// Out-of-order week against an existing store.
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 2
+	cfg.InitialPagesPerSite = 3
+	cfg.Users = 2000
+	cfg.VisitRate = 2000
+	cfg.BurnInWeeks = 2
+	cfg.Seed = 1
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t, sim)
+	store := filepath.Join(t.TempDir(), "s.pqs")
+	if err := run([]string{"-seeds", ts.URL + "/seeds.txt", "-store", store, "-week", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seeds", ts.URL + "/seeds.txt", "-store", store, "-week", "4"}, &buf); err == nil {
+		t.Fatal("time-travelling snapshot accepted")
+	}
+}
+
+func TestCrawlCLIArchivesBodies(t *testing.T) {
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 4
+	cfg.InitialPagesPerSite = 4
+	cfg.Users = 2000
+	cfg.VisitRate = 2000
+	cfg.LinkProb = 0.2
+	cfg.BurnInWeeks = 8
+	cfg.Seed = 7
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t, sim)
+	dir := t.TempDir()
+	store := filepath.Join(dir, "s.pqs")
+	archive := filepath.Join(dir, "pages")
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-seeds", ts.URL + "/seeds.txt", "-store", store,
+		"-archive", archive, "-label", "t1", "-week", "0",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	arch, err := pagestore.Open(archive, pagestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	snaps, err := snapshot.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Len() != snaps[0].Graph.NumNodes() {
+		t.Fatalf("archived %d bodies for %d crawled pages", arch.Len(), snaps[0].Graph.NumNodes())
+	}
+	keys := arch.KeysWithPrefix("t1/")
+	if len(keys) != arch.Len() {
+		t.Fatalf("archive keys not label-prefixed: %v", keys[:1])
+	}
+	// The archived bodies are real HTML.
+	_, body, err := arch.Get(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "<html") && !strings.Contains(string(body), "<!DOCTYPE") {
+		t.Fatalf("archived body is not HTML: %q", body[:min(len(body), 60)])
+	}
+}
+
+func TestCrawlCLIResumeFromCheckpoint(t *testing.T) {
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 5
+	cfg.InitialPagesPerSite = 5
+	cfg.Users = 2000
+	cfg.VisitRate = 2000
+	cfg.LinkProb = 0.2
+	cfg.BurnInWeeks = 10
+	cfg.Seed = 12
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t, sim)
+	dir := t.TempDir()
+	store := filepath.Join(dir, "s.pqs")
+	ckpt := filepath.Join(dir, "crawl.ckpt")
+
+	// Fabricate a mid-crawl checkpoint: the seed page already visited,
+	// its links in the frontier.
+	seeds, err := crawler.FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupt := make(chan struct{})
+	close(interrupt) // interrupt immediately after the first wave
+	partial, err := crawler.Crawl(crawler.Config{
+		Seeds: seeds, Client: ts.Client(), Interrupt: interrupt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Checkpoint == nil {
+		t.Skip("crawl finished before the interrupt landed")
+	}
+	if err := partial.Checkpoint.Save(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-seeds", ts.URL + "/seeds.txt", "-store", store,
+		"-checkpoint", ckpt, "-label", "t1", "-week", "0",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resuming from") {
+		t.Fatalf("resume banner missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "appended snapshot t1") {
+		t.Fatalf("completion missing:\n%s", buf.String())
+	}
+	// Completed run removes the checkpoint.
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not cleaned up: %v", err)
+	}
+	snaps, err := snapshot.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps[0].Graph.NumNodes() == 0 {
+		t.Fatal("empty resumed snapshot")
+	}
+}

@@ -1,0 +1,91 @@
+// Command extract rebuilds a link-graph snapshot from raw documents
+// archived by `crawl -archive` — the fetch/parse decoupling of a real
+// crawl pipeline: bodies are downloaded once, and the graph can be
+// re-extracted at any time (e.g. after improving the link extractor)
+// without touching the network.
+//
+// Usage:
+//
+//	extract -archive pages/ -label t1 -store web.pqs [-week 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pagequality/internal/crawler"
+	"pagequality/internal/pagestore"
+	"pagequality/internal/snapshot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "extract:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("extract", flag.ContinueOnError)
+	var (
+		archiveDir = fs.String("archive", "", "pagestore directory holding archived bodies")
+		label      = fs.String("label", "", "crawl label whose documents to extract (archive key prefix)")
+		store      = fs.String("store", "web.pqs", "snapshot store to append to")
+		week       = fs.Float64("week", -1, "snapshot time in weeks (default: archived fetch time)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *archiveDir == "" || *label == "" {
+		return fmt.Errorf("-archive and -label are required")
+	}
+	arch, err := pagestore.Open(*archiveDir, pagestore.Options{})
+	if err != nil {
+		return err
+	}
+	defer arch.Close()
+
+	prefix := *label + "/"
+	keys := arch.KeysWithPrefix(prefix)
+	if len(keys) == 0 {
+		return fmt.Errorf("no documents with prefix %q in %s", prefix, *archiveDir)
+	}
+	docs := make([]crawler.Document, 0, len(keys))
+	fetchedAt := *week
+	for _, k := range keys {
+		meta, body, err := arch.Get(k)
+		if err != nil {
+			return err
+		}
+		if fetchedAt < 0 {
+			fetchedAt = meta.FetchedAt
+		}
+		docs = append(docs, crawler.Document{FetchURL: k[len(prefix):], Body: body})
+	}
+	res, err := crawler.Assemble(docs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "extracted %d documents: %d nodes, %d links\n",
+		len(docs), res.Graph.NumNodes(), res.Graph.NumEdges())
+
+	var snaps []snapshot.Snapshot
+	if _, err := os.Stat(*store); err == nil {
+		snaps, err = snapshot.ReadFile(*store)
+		if err != nil {
+			return fmt.Errorf("existing store: %w", err)
+		}
+	}
+	if n := len(snaps); n > 0 && fetchedAt < snaps[n-1].Time {
+		return fmt.Errorf("snapshot week %g precedes the last stored snapshot (%g)", fetchedAt, snaps[n-1].Time)
+	}
+	snaps = append(snaps, snapshot.Snapshot{Label: *label, Time: fetchedAt, Graph: res.Graph})
+	if err := snapshot.WriteFile(*store, snaps); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "appended snapshot %s (week %.1f) to %s (%d snapshots total)\n",
+		*label, fetchedAt, *store, len(snaps))
+	return nil
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/snapshot"
+)
+
+// writeFixture creates a small store with two snapshots.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	mk := func(extra int) *graph.Graph {
+		g := graph.New(6)
+		for i := 0; i < 6; i++ {
+			g.MustAddPage(graph.Page{URL: fmt.Sprintf("http://s/p%d", i)})
+		}
+		// star toward node 0
+		for i := 1; i < 6; i++ {
+			g.AddLink(graph.NodeID(i), 0)
+		}
+		g.AddLink(0, 1)
+		for i := 0; i < extra; i++ {
+			g.AddLink(graph.NodeID(1+i), 5)
+		}
+		return g
+	}
+	path := filepath.Join(t.TempDir(), "web.pqs")
+	err := snapshot.WriteFile(path, []snapshot.Snapshot{
+		{Label: "t1", Time: 0, Graph: mk(0)},
+		{Label: "t2", Time: 4, Graph: mk(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPageRankCLI(t *testing.T) {
+	path := writeFixture(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path, "-top", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "snapshot t2") {
+		t.Fatalf("did not default to last snapshot:\n%s", out)
+	}
+	if !strings.Contains(out, "http://s/p0") {
+		t.Fatalf("hub page missing from top-3:\n%s", out)
+	}
+	// The hub must be the first-ranked row.
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "rank") {
+			if !strings.Contains(lines[i+1], "http://s/p0") {
+				t.Fatalf("rank-1 row is not the hub:\n%s", out)
+			}
+			break
+		}
+	}
+}
+
+func TestPageRankCLISnapshotSelection(t *testing.T) {
+	path := writeFixture(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path, "-snapshot", "t1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "snapshot t1") {
+		t.Fatalf("snapshot selection failed:\n%s", buf.String())
+	}
+	if err := run([]string{"-in", path, "-snapshot", "zz"}, &buf); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestPageRankCLIMetrics(t *testing.T) {
+	path := writeFixture(t)
+	for _, metric := range []string{"hits", "indegree"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-in", path, "-metric", metric}, &buf); err != nil {
+			t.Fatalf("%s: %v", metric, err)
+		}
+		if !strings.Contains(buf.String(), "http://s/") {
+			t.Fatalf("%s produced no table:\n%s", metric, buf.String())
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path, "-metric", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if err := run([]string{"-in", path, "-variant", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestPageRankCLIMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "none.pqs")}, &buf); err == nil {
+		t.Fatal("missing store accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/snapshot"
+)
+
+// fixture builds four snapshots where page "riser" steadily gains links.
+func fixture(t *testing.T) string {
+	t.Helper()
+	mk := func(links int) *graph.Graph {
+		g := graph.New(8)
+		for i := 0; i < 8; i++ {
+			g.MustAddPage(graph.Page{URL: fmt.Sprintf("http://s/p%d", i)})
+		}
+		// static ring among 0..5
+		for i := 0; i < 6; i++ {
+			g.AddLink(graph.NodeID(i), graph.NodeID((i+1)%6))
+		}
+		// riser = node 7 gains links from 0..links-1
+		for i := 0; i < links && i < 6; i++ {
+			g.AddLink(graph.NodeID(i), 7)
+		}
+		return g
+	}
+	path := filepath.Join(t.TempDir(), "web.pqs")
+	err := snapshot.WriteFile(path, []snapshot.Snapshot{
+		{Label: "t1", Time: 0, Graph: mk(1)},
+		{Label: "t2", Time: 4, Graph: mk(2)},
+		{Label: "t3", Time: 8, Graph: mk(3)},
+		{Label: "t4", Time: 26, Graph: mk(5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQualityCLI(t *testing.T) {
+	path := fixture(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path, "-snaps", "3", "-top", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "common pages") {
+		t.Fatalf("missing alignment summary:\n%s", out)
+	}
+	if !strings.Contains(out, "increasing=") {
+		t.Fatalf("missing class tally:\n%s", out)
+	}
+	// The riser must be listed with class increasing.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "http://s/p7") && strings.Contains(line, "increasing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("riser not classified increasing:\n%s", out)
+	}
+	// A future snapshot exists: the §8.2 scoring block must appear.
+	if !strings.Contains(out, "prediction of t4") {
+		t.Fatalf("missing future scoring:\n%s", out)
+	}
+	if !strings.Contains(out, "avg rel. error") {
+		t.Fatalf("missing error summary:\n%s", out)
+	}
+}
+
+func TestQualityCLIWithoutFuture(t *testing.T) {
+	path := fixture(t)
+	var buf bytes.Buffer
+	// Use all 4 snapshots for estimation: no future left, no scoring block.
+	if err := run([]string{"-in", path, "-snaps", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "prediction of") {
+		t.Fatalf("scoring block printed without a future snapshot:\n%s", buf.String())
+	}
+}
+
+func TestQualityCLIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "none.pqs")}, &buf); err == nil {
+		t.Fatal("missing store accepted")
+	}
+	path := fixture(t)
+	if err := run([]string{"-in", path, "-snaps", "9"}, &buf); err == nil {
+		t.Fatal("snaps beyond store accepted")
+	}
+	if err := run([]string{"-in", path, "-c", "-4"}, &buf); err == nil {
+		t.Fatal("negative C accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Command qualityserve is the downstream application the paper motivates:
+// a search service whose ranking uses the quality estimate instead of raw
+// PageRank. It loads a crawl series (snapshot store) and the archived
+// page bodies (pagestore), estimates Q(p) from the PageRank trend, builds
+// a full-text index over the documents, and serves a JSON search API:
+//
+//	GET /search?q=<terms>&k=10&rank=quality|pagerank|relevance
+//	GET /stats
+//	GET /healthz
+//
+// Usage:
+//
+//	qualityserve -store web.pqs -archive pages/ -label t3 -snaps 3 \
+//	             -addr 127.0.0.1:8088
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"pagequality/internal/crawler"
+	"pagequality/internal/pagerank"
+	"pagequality/internal/pagestore"
+	"pagequality/internal/quality"
+	"pagequality/internal/search"
+	"pagequality/internal/snapshot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, http.ListenAndServe); err != nil {
+		fmt.Fprintln(os.Stderr, "qualityserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer, listen func(string, http.Handler) error) error {
+	fs := flag.NewFlagSet("qualityserve", flag.ContinueOnError)
+	var (
+		store   = fs.String("store", "web.pqs", "snapshot store with the crawl series")
+		archive = fs.String("archive", "", "pagestore directory with archived page bodies")
+		label   = fs.String("label", "", "archive label of the crawl to index (default: last estimation snapshot)")
+		snapsN  = fs.Int("snaps", 3, "number of leading snapshots used for quality estimation")
+		c       = fs.Float64("c", 1.0, "estimator constant C")
+		cap_    = fs.Float64("maxtrend", 0.3, "trend cap")
+		addr    = fs.String("addr", "127.0.0.1:8088", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *archive == "" {
+		return fmt.Errorf("-archive is required")
+	}
+	svc, err := buildService(*store, *archive, *label, *snapsN, quality.Config{
+		C: *c, MinChangeFrac: 0.05, ApplyTrendToDecreasing: true, MaxTrend: *cap_,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "indexed %d documents (%d common pages) — serving on http://%s/\n",
+		svc.ix.NumDocs(), len(svc.urls), *addr)
+	return listen(*addr, svc)
+}
+
+// service holds the built index and per-document scores.
+type service struct {
+	ix   *search.Index
+	urls []string // doc id -> canonical URL
+	qual []float64
+	pr   []float64
+}
+
+// buildService loads the series, estimates quality, and indexes the
+// archived bodies of the chosen crawl.
+func buildService(storePath, archiveDir, label string, snapsN int, qcfg quality.Config) (*service, error) {
+	snaps, err := snapshot.ReadFile(storePath)
+	if err != nil {
+		return nil, err
+	}
+	al, err := snapshot.Align(snaps)
+	if err != nil {
+		return nil, err
+	}
+	if snapsN < 2 || snapsN > al.NumSnapshots() {
+		return nil, fmt.Errorf("qualityserve: snaps=%d with %d snapshots", snapsN, al.NumSnapshots())
+	}
+	est, ranks, err := quality.FromAligned(al, snapsN,
+		pagerank.Options{Variant: pagerank.VariantPaper}, qcfg)
+	if err != nil {
+		return nil, err
+	}
+	cur := ranks[snapsN-1]
+
+	if label == "" {
+		label = al.Labels[snapsN-1]
+	}
+	arch, err := pagestore.Open(archiveDir, pagestore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer arch.Close()
+	keys := arch.KeysWithPrefix(label + "/")
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("qualityserve: no documents with label %q in %s", label, archiveDir)
+	}
+
+	// Map canonical URL -> aligned index for score lookup.
+	byURL := make(map[string]int, len(al.URLs))
+	for i, u := range al.URLs {
+		byURL[u] = i
+	}
+
+	svc := &service{ix: search.NewIndex()}
+	for _, k := range keys {
+		_, body, err := arch.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		_, canonical := crawler.ExtractLinks(string(body))
+		if canonical == "" {
+			canonical = k[len(label)+1:]
+		}
+		ai, ok := byURL[canonical]
+		if !ok {
+			continue // page not common to every crawl: no quality estimate
+		}
+		doc := svc.ix.Add(string(body))
+		if doc != len(svc.urls) {
+			return nil, fmt.Errorf("qualityserve: document id drift")
+		}
+		svc.urls = append(svc.urls, canonical)
+		svc.qual = append(svc.qual, est.Q[ai])
+		svc.pr = append(svc.pr, cur[ai])
+	}
+	if svc.ix.NumDocs() == 0 {
+		return nil, fmt.Errorf("qualityserve: no indexable documents matched the common pages")
+	}
+	return svc, nil
+}
+
+// hitJSON is one search result in the API response.
+type hitJSON struct {
+	URL       string  `json:"url"`
+	Score     float64 `json:"score"`
+	Relevance float64 `json:"relevance"`
+	Quality   float64 `json:"quality"`
+	PageRank  float64 `json:"pagerank"`
+}
+
+func (s *service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case "/stats":
+		s.serveStats(w)
+	case "/search":
+		s.serveSearch(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *service) serveStats(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"documents": s.ix.NumDocs(),
+		"terms":     s.ix.NumTerms(),
+	})
+}
+
+func (s *service) serveSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, `missing query parameter "q"`, http.StatusBadRequest)
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 || v > 1000 {
+			http.Error(w, `parameter "k" must be an integer in [1,1000]`, http.StatusBadRequest)
+			return
+		}
+		k = v
+	}
+	opts := search.Options{TopK: k}
+	switch mode := r.URL.Query().Get("rank"); mode {
+	case "", "quality":
+		opts.Authority = s.qual
+		opts.AuthorityWeight = 0.7
+	case "pagerank":
+		opts.Authority = s.pr
+		opts.AuthorityWeight = 0.7
+	case "relevance":
+		// content only
+	default:
+		http.Error(w, `parameter "rank" must be quality, pagerank or relevance`, http.StatusBadRequest)
+		return
+	}
+	hits, err := s.ix.Search(q, opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := make([]hitJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, hitJSON{
+			URL:       s.urls[h.Doc],
+			Score:     h.Score,
+			Relevance: h.Relevance,
+			Quality:   s.qual[h.Doc],
+			PageRank:  s.pr[h.Doc],
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,76 @@
+// Command serve exposes one snapshot from a store file as a browsable
+// HTML site (the webserver substrate), closing the loop with cmd/crawl:
+// a snapshot written by websim can be served, re-crawled and re-stored.
+//
+// Usage:
+//
+//	serve -in web.pqs [-snapshot t3] [-addr 127.0.0.1:8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"pagequality/internal/snapshot"
+	"pagequality/internal/webserver"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, http.ListenAndServe); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run wires flags to the handler; listen is injectable for tests.
+func run(args []string, out io.Writer, listen func(addr string, h http.Handler) error) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		in    = fs.String("in", "web.pqs", "snapshot store path")
+		label = fs.String("snapshot", "", "snapshot label (default: last)")
+		addr  = fs.String("addr", "127.0.0.1:8080", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, info, err := newHandler(*in, *label)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving %s on http://%s/ (seeds at /seeds.txt)\n", info, *addr)
+	return listen(*addr, h)
+}
+
+// newHandler loads the requested snapshot and builds its site handler.
+func newHandler(storePath, label string) (http.Handler, string, error) {
+	snaps, err := snapshot.ReadFile(storePath)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(snaps) == 0 {
+		return nil, "", fmt.Errorf("store %s is empty", storePath)
+	}
+	snap := snaps[len(snaps)-1]
+	if label != "" {
+		found := false
+		for _, s := range snaps {
+			if s.Label == label {
+				snap, found = s, true
+				break
+			}
+		}
+		if !found {
+			return nil, "", fmt.Errorf("no snapshot labelled %q in %s", label, storePath)
+		}
+	}
+	srv, err := webserver.New(snap.Graph, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	info := fmt.Sprintf("snapshot %s (week %.1f, %d pages, %d links)",
+		snap.Label, snap.Time, snap.Graph.NumNodes(), snap.Graph.NumEdges())
+	return srv, info, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pagequality/internal/snapshot"
+)
+
+func TestWebsimEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "web.pqs")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-out", out, "-sites", "8", "-pages", "5", "-users", "2000",
+		"-burnin", "10", "-birth", "2", "-seed", "3",
+		"-schedule", "0,4,8",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 3 snapshots") {
+		t.Fatalf("output missing confirmation:\n%s", buf.String())
+	}
+	snaps, err := snapshot.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 || snaps[0].Label != "t1" || snaps[2].Label != "t3" {
+		t.Fatalf("store contents wrong: %d snapshots", len(snaps))
+	}
+	if snaps[2].Time != 8 {
+		t.Fatalf("t3 at week %g", snaps[2].Time)
+	}
+	for i, s := range snaps {
+		if err := s.Graph.Validate(); err != nil {
+			t.Fatalf("snapshot %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestWebsimBadSchedule(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-schedule", "0,zzz"}, &buf); err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+	if err := run([]string{"-schedule", "8,0"}, &buf); err == nil {
+		t.Fatal("decreasing schedule accepted")
+	}
+}
+
+func TestWebsimBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sites", "0"}, &buf); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := parseSchedule("0, 4 ,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Times) != 3 || s.Times[1] != 4 || s.Labels[2] != "t3" {
+		t.Fatalf("parsed %+v", s)
+	}
+}

@@ -1,0 +1,108 @@
+// Crawlpipeline: the paper's §8.1 methodology end to end, in one process.
+// A synthetic Web evolves under the user-visitation model; at each crawl
+// date it is served as real HTML over HTTP, downloaded by the crawler
+// (following anchors until no new pages are reachable), and archived.
+// The four crawled link graphs are then aligned on their common pages and
+// the quality estimator is scored against the final crawl — the same
+// numbers cmd/experiments reports, but produced from HTTP round trips
+// rather than simulator internals.
+//
+// Run with:
+//
+//	go run ./examples/crawlpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"pagequality/internal/crawler"
+	"pagequality/internal/metrics"
+	"pagequality/internal/pagerank"
+	"pagequality/internal/quality"
+	"pagequality/internal/snapshot"
+	"pagequality/internal/webcorpus"
+	"pagequality/internal/webserver"
+)
+
+func main() {
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 40
+	cfg.InitialPagesPerSite = 8
+	cfg.BirthRate = 8
+	cfg.BurnInWeeks = 40
+	cfg.NoiseRate = 0.01
+	cfg.ForgetRate = 0.01
+	cfg.Seed = 3
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sched := webcorpus.PaperSchedule()
+	var snaps []snapshot.Snapshot
+	for k, week := range sched.Times {
+		sim.AdvanceTo(week)
+		// Serve the live Web as HTML (a frozen copy, as a real site would
+		// appear during one crawl pass).
+		srv, err := webserver.New(sim.Graph().Clone(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		seeds, err := crawler.FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := crawler.Crawl(crawler.Config{
+			Seeds:           seeds,
+			Client:          ts.Client(),
+			Concurrency:     8,
+			MaxPagesPerSite: 200000, // the paper's per-site cap
+		})
+		ts.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("crawl %-3s (week %4.1f): fetched %4d pages, %5d links (%d errors)\n",
+			sched.Labels[k], week, res.Stats.Fetched, res.Graph.NumEdges(), res.Stats.Errors)
+		snaps = append(snaps, snapshot.Snapshot{Label: sched.Labels[k], Time: week, Graph: res.Graph})
+	}
+
+	al, err := snapshot.Align(snaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d pages common to all four crawls (the paper had 2.7M of ~5M)\n", al.NumPages())
+
+	est, ranks, err := quality.FromAligned(al, 3,
+		pagerank.Options{Variant: pagerank.VariantPaper},
+		quality.Config{C: 1.0, MinChangeFrac: 0.05, ApplyTrendToDecreasing: true, MaxTrend: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	future := ranks[3]
+	var errQ, errPR []float64
+	for i := range est.Q {
+		if !est.Changed[i] || future[i] == 0 {
+			continue
+		}
+		q, _ := metrics.RelativeError(est.Q[i], future[i])
+		p, _ := metrics.RelativeError(ranks[2][i], future[i])
+		errQ = append(errQ, q)
+		errPR = append(errPR, p)
+	}
+	sq, err := metrics.Summarize(errQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := metrics.Summarize(errPR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicting PR(t4) over %d changed pages (crawled over HTTP):\n", len(errQ))
+	fmt.Printf("  quality estimate Q(p): avg rel. error %.3f\n", sq.Mean)
+	fmt.Printf("  current PR(p,t3):      avg rel. error %.3f\n", sp.Mean)
+	fmt.Printf("  improvement: %.2fx (the paper reports 0.32 vs 0.78, ~2.4x)\n", sp.Mean/sq.Mean)
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a tiny Web graph by hand, compute PageRank, then feed
+// three snapshots to the quality estimator and watch it spot the rising
+// page before raw PageRank does.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/pagerank"
+	"pagequality/internal/quality"
+	"pagequality/internal/snapshot"
+)
+
+// buildSnapshot assembles one crawl of a five-page web. The page "new"
+// gains one extra in-link per crawl; the others are static.
+func buildSnapshot(label string, week float64, extraLinksToNew int) snapshot.Snapshot {
+	g := graph.New(5)
+	urls := []string{"home", "docs", "blog", "about", "new"}
+	ids := make(map[string]graph.NodeID, len(urls))
+	for _, u := range urls {
+		ids[u] = g.MustAddPage(graph.Page{URL: u})
+	}
+	// The established core links to itself.
+	g.AddLink(ids["home"], ids["docs"])
+	g.AddLink(ids["home"], ids["blog"])
+	g.AddLink(ids["docs"], ids["home"])
+	g.AddLink(ids["blog"], ids["home"])
+	g.AddLink(ids["about"], ids["home"])
+	g.AddLink(ids["home"], ids["about"])
+	// The new page accumulates links crawl by crawl.
+	sources := []string{"docs", "blog", "about", "home"}
+	for i := 0; i < extraLinksToNew && i < len(sources); i++ {
+		g.AddLink(ids[sources[i]], ids["new"])
+	}
+	return snapshot.Snapshot{Label: label, Time: week, Graph: g}
+}
+
+func main() {
+	// 1. Three crawls, one month apart: "new" has 1, 2, then 3 in-links.
+	snaps := []snapshot.Snapshot{
+		buildSnapshot("t1", 0, 1),
+		buildSnapshot("t2", 4, 2),
+		buildSnapshot("t3", 8, 3),
+	}
+
+	// 2. PageRank of the latest crawl (the paper's 1-initialised variant).
+	c := graph.Freeze(snaps[2].Graph)
+	pr, err := pagerank.Compute(c, pagerank.Options{Variant: pagerank.VariantPaper})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PageRank at t3:")
+	for i := 0; i < c.NumNodes(); i++ {
+		fmt.Printf("  %-6s PR = %.3f\n", snaps[2].Graph.Page(graph.NodeID(i)).URL, pr.Rank[i])
+	}
+
+	// 3. Align the snapshots and estimate quality from the PageRank trend.
+	al, err := snapshot.Align(snaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, ranks, err := quality.FromAligned(al, 3,
+		pagerank.Options{Variant: pagerank.VariantPaper}, quality.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nQuality estimate vs current PageRank:")
+	fmt.Printf("  %-6s  %-11s  %8s  %8s\n", "page", "class", "PR(t3)", "Q(p)")
+	for i, url := range al.URLs {
+		fmt.Printf("  %-6s  %-11s  %8.3f  %8.3f\n",
+			url, est.Class[i], ranks[2][i], est.Q[i])
+	}
+	fmt.Println("\nThe 'new' page's rising trend lifts its quality estimate above its")
+	fmt.Println("current PageRank — the paper's antidote to the rich-get-richer bias.")
+}

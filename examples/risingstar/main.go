@@ -1,0 +1,118 @@
+// Risingstar: the paper's motivating scenario, end to end. A brand-new
+// high-quality page is injected into an established synthetic Web just
+// before the first crawl. We then crawl every four weeks and compare how
+// the page climbs two rankings: raw PageRank versus the paper's quality
+// estimate. The quality estimator surfaces the page weeks before
+// PageRank does — the antidote to the rich-get-richer bias.
+//
+// Run with:
+//
+//	go run ./examples/risingstar
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"pagequality/internal/pagerank"
+	"pagequality/internal/quality"
+	"pagequality/internal/snapshot"
+	"pagequality/internal/webcorpus"
+)
+
+func main() {
+	// An established Web: 40 sites aged well past their expansion phase.
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 40
+	cfg.InitialPagesPerSite = 8
+	cfg.BurnInWeeks = 60
+	cfg.BirthRate = 0 // we control the only new page ourselves
+	cfg.NoiseRate = 0.002
+	cfg.ForgetRate = 0
+	cfg.Seed = 11
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inject the rising star: a new page of top quality, born at week 0.
+	const starQuality = 0.9
+	starID, err := sim.BirthPage(0, starQuality)
+	if err != nil {
+		log.Fatal(err)
+	}
+	starURL := sim.Graph().Page(starID).URL
+	fmt.Printf("rising star: %s (true quality %.2f, born week 0)\n\n", starURL, starQuality)
+
+	// Crawl every 4 weeks for 40 weeks.
+	sched := webcorpus.Schedule{}
+	for w := 0; w <= 40; w += 4 {
+		sched.Times = append(sched.Times, float64(w))
+		sched.Labels = append(sched.Labels, fmt.Sprintf("week%02d", w))
+	}
+	snaps, err := sim.RunSchedule(sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	al, err := snapshot.Align(snaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranks, err := al.PageRankSeries(pagerank.Options{Variant: pagerank.VariantPaper})
+	if err != nil {
+		log.Fatal(err)
+	}
+	star := -1
+	for i, u := range al.URLs {
+		if u == starURL {
+			star = i
+			break
+		}
+	}
+	if star < 0 {
+		log.Fatal("star page missing from the common set")
+	}
+	truth, err := sim.TrueQualities(al.URLs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truthRank := rankOf(truth, star)
+
+	est := quality.Config{C: 1.0, MinChangeFrac: 0.05, ApplyTrendToDecreasing: true, MaxTrend: 0.3}
+	n := len(al.URLs)
+	fmt.Printf("%-8s  %10s  %10s    (true-quality rank: %d/%d)\n", "crawl", "PR rank", "Q rank", truthRank, n)
+	// From the third crawl on there is enough history for the estimator
+	// (a rolling three-snapshot window, as in the paper).
+	for k := 2; k < len(ranks); k++ {
+		res, err := quality.EstimateFromSeries(ranks[k-2:k+1], est)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prRank := rankOf(ranks[k], star)
+		qRank := rankOf(res.Q, star)
+		gain := ""
+		if qRank < prRank {
+			gain = fmt.Sprintf("  <- quality ranks it %d places higher", prRank-qRank)
+		}
+		fmt.Printf("%-8s  %7d/%-4d %7d/%-4d%s\n", al.Labels[k], prRank, n, qRank, n, gain)
+	}
+	fmt.Println("\nDuring the expansion phase the quality estimate anticipates the page's")
+	fmt.Println("eventual standing, surfacing it earlier than PageRank alone would.")
+}
+
+// rankOf returns the 1-based position of index i when scores are sorted
+// descending.
+func rankOf(scores []float64, i int) int {
+	order := make([]int, len(scores))
+	for k := range order {
+		order[k] = k
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	for pos, k := range order {
+		if k == i {
+			return pos + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,79 @@
+// Trafficquality: the §9.1 future-work direction. Instead of crawling
+// link structure, we watch a page's *visit stream* (as a NetRatings-style
+// traffic panel would), convert the cumulative visit log into visit rates,
+// and apply the same quality estimator in traffic space:
+//
+//	Q(p) = (n/r)·(dV/dt)/V + V/r
+//
+// The estimate converges to the page's true quality long before its
+// popularity does.
+//
+// Run with:
+//
+//	go run ./examples/trafficquality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pagequality/internal/traffic"
+	"pagequality/internal/usersim"
+)
+
+func main() {
+	// One page with true quality 0.45, watched by a traffic logger.
+	cfg := usersim.Config{
+		Users:        50000,
+		VisitRate:    50000,
+		Quality:      0.45,
+		InitialLikes: 100,
+		DT:           0.02,
+		Seed:         2026,
+	}
+	sim, err := usersim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Log cumulative visits once per week for 30 weeks.
+	times := []float64{sim.Time()}
+	cum := []float64{float64(sim.Visits())}
+	for week := 1; week <= 30; week++ {
+		if _, err := sim.Run(float64(week), 1<<30); err != nil {
+			log.Fatal(err)
+		}
+		times = append(times, sim.Time())
+		cum = append(cum, float64(sim.Visits()))
+	}
+
+	series, err := traffic.FromCumulative(times, cum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, ok, err := series.EstimateQuality(float64(cfg.Users), cfg.VisitRate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("true quality Q = %.2f; n = %d users\n\n", cfg.Quality, cfg.Users)
+	fmt.Printf("%-6s  %14s  %12s  %14s\n", "week", "visits/week", "popularity", "traffic Q-est")
+	for i := range series.T {
+		pop := series.Visits[i] / cfg.VisitRate
+		mark := ""
+		if !ok[i] {
+			mark = " (no traffic)"
+		}
+		fmt.Printf("%-6.1f  %14.0f  %12.4f  %14.3f%s\n",
+			series.T[i], series.Visits[i], pop, est[i], mark)
+	}
+
+	latest, err := series.EstimateLatest(float64(cfg.Users), cfg.VisitRate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlatest traffic-based estimate: %.3f (true quality %.2f)\n", latest, cfg.Quality)
+	fmt.Println("The estimate hovers near Q from the earliest weeks, while the raw")
+	fmt.Println("popularity needs the full expansion phase to catch up — the same")
+	fmt.Println("early-detection advantage as the link-based estimator, from traffic alone.")
+}

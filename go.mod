@@ -1,0 +1,3 @@
+module pagequality
+
+go 1.22

@@ -1,0 +1,217 @@
+// Package bitset provides a dense, growable bitset used throughout the
+// simulator for user-awareness sets and visited-page sets.
+//
+// The zero value of Set is an empty set ready to use. All operations are
+// O(1) per bit or O(words) per set, with no allocations on the hot paths
+// once the backing array has grown to its final size.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset over non-negative integer indices.
+//
+// Set is not safe for concurrent mutation; guard it externally or use one
+// set per goroutine.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set pre-sized to hold indices in [0, n).
+// Indices beyond n may still be set later; the backing array grows on demand.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// grow ensures the set can hold bit i.
+func (s *Set) grow(i int) {
+	w := i/wordBits + 1
+	if w <= len(s.words) {
+		return
+	}
+	if w <= cap(s.words) {
+		s.words = s.words[:w]
+		return
+	}
+	nw := make([]uint64, w, max(w, 2*cap(s.words)))
+	copy(nw, s.words)
+	s.words = nw
+}
+
+// Set sets bit i. It panics if i is negative.
+func (s *Set) Set(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitset: negative index %d", i))
+	}
+	s.grow(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i. Clearing a bit beyond the current size is a no-op.
+func (s *Set) Clear(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitset: negative index %d", i))
+	}
+	w := i / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Test reports whether bit i is set. Out-of-range indices report false.
+func (s *Set) Test(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// SetIfUnset sets bit i and reports whether the bit was previously unset.
+// This is the common "first discovery" primitive in the user simulator.
+func (s *Set) SetIfUnset(i int) bool {
+	if s.Test(i) {
+		return false
+	}
+	s.Set(i)
+	return true
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Len returns the capacity in bits of the backing array.
+func (s *Set) Len() int { return len(s.words) * wordBits }
+
+// Reset clears every bit while retaining the backing array.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union sets s = s ∪ o.
+func (s *Set) Union(o *Set) {
+	if len(o.words) > len(s.words) {
+		s.grow(len(o.words)*wordBits - 1)
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s = s ∩ o.
+func (s *Set) Intersect(o *Set) {
+	n := min(len(s.words), len(o.words))
+	for i := 0; i < n; i++ {
+		s.words[i] &= o.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// Difference sets s = s \ o.
+func (s *Set) Difference(o *Set) {
+	n := min(len(s.words), len(o.words))
+	for i := 0; i < n; i++ {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Equal reports whether s and o contain exactly the same bits.
+func (s *Set) Equal(o *Set) bool {
+	a, b := s.words, o.words
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	for _, w := range b[len(a):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false the iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, and whether
+// such a bit exists.
+func (s *Set) NextSet(i int) (int, bool) {
+	if i < 0 {
+		i = 0
+	}
+	wi := i / wordBits
+	if wi >= len(s.words) {
+		return 0, false
+	}
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w), true
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi]), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the set as a sorted list of indices, capped for readability.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	s.ForEach(func(i int) bool {
+		if n > 0 {
+			b.WriteByte(' ')
+		}
+		if n >= 32 {
+			b.WriteString("...")
+			return false
+		}
+		fmt.Fprintf(&b, "%d", i)
+		n++
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

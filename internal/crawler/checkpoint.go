@@ -1,0 +1,68 @@
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint captures a crawl's progress so an interrupted crawl (the
+// paper's crawls spanned days over 154 sites) can resume without
+// re-fetching: the visited set, the outstanding frontier, and the
+// accumulated statistics. Fetched documents themselves live in the
+// pagestore archive (via Config.OnFetch); resuming re-fetches nothing that
+// was archived, and the full graph is rebuilt offline with Assemble.
+type Checkpoint struct {
+	// Visited holds every URL already admitted (fetched or in the
+	// frontier).
+	Visited []string `json:"visited"`
+	// Frontier holds the URLs admitted but not yet fetched when the crawl
+	// stopped.
+	Frontier []string `json:"frontier"`
+	// Stats carries the accumulated counters.
+	Stats Stats `json:"stats"`
+}
+
+// Save atomically persists the checkpoint as JSON.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("crawler: marshal checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("crawler: checkpoint temp: %w", err)
+	}
+	name := tmp.Name()
+	defer os.Remove(name)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("crawler: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// LoadCheckpoint reads a checkpoint; a missing file returns (nil, nil) so
+// callers can treat "no checkpoint" as a fresh crawl.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("crawler: read checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("crawler: parse checkpoint: %w", err)
+	}
+	return &c, nil
+}

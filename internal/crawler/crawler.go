@@ -1,0 +1,475 @@
+// Package crawler implements the Web-download substrate of the paper's
+// experiment (§8.1): a concurrent HTTP crawler that starts from seed
+// pages, follows anchors until no new pages are reachable or a per-site
+// page cap is hit ("we downloaded pages from each site until we could not
+// reach any more pages or we downloaded the maximum of 200,000 pages"),
+// and reconstructs the directed link graph. Pages are keyed by their
+// rel=canonical URL when present, so crawls of different server instances
+// align snapshot to snapshot.
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"pagequality/internal/graph"
+)
+
+// Config parameterises a crawl.
+type Config struct {
+	// Seeds are the absolute URLs to start from.
+	Seeds []string
+	// MaxPagesPerSite caps the pages fetched per canonical host (the
+	// paper used 200 000). Zero means unlimited.
+	MaxPagesPerSite int
+	// MaxPages caps the total fetched pages. Zero means unlimited.
+	MaxPages int
+	// Concurrency is the number of parallel fetchers (default 8).
+	Concurrency int
+	// Client performs the requests (default http.DefaultClient).
+	Client *http.Client
+	// MaxBodyBytes bounds how much of each response is read (default 1 MiB).
+	MaxBodyBytes int64
+	// OnFetch, when non-nil, receives every successfully fetched document
+	// (e.g. to archive it into a pagestore). It is called from multiple
+	// goroutines and must be safe for concurrent use.
+	OnFetch func(fetchURL string, body []byte)
+	// IgnoreRobots disables robots.txt handling. By default the crawler
+	// fetches each host's /robots.txt once and skips paths disallowed for
+	// User-agent *.
+	IgnoreRobots bool
+	// Interrupt, when non-nil, stops the crawl gracefully once closed:
+	// in-flight fetches finish, the remaining frontier is returned in
+	// Result.Checkpoint, and a later Crawl with Resume set picks up where
+	// this one stopped.
+	Interrupt <-chan struct{}
+	// Resume continues a previous crawl from its checkpoint: the visited
+	// set is preloaded (so nothing is re-fetched) and the saved frontier
+	// is re-enqueued. Seeds are still honoured (deduplicated against the
+	// visited set). Pages fetched by the earlier run are NOT in this run's
+	// Result.Graph — rebuild the full graph from the archive with
+	// Assemble.
+	Resume *Checkpoint
+}
+
+// ErrBadConfig reports invalid crawler configuration.
+var ErrBadConfig = errors.New("crawler: bad config")
+
+func (c *Config) fill() error {
+	if len(c.Seeds) == 0 {
+		return fmt.Errorf("%w: no seeds", ErrBadConfig)
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 8
+	}
+	if c.Concurrency < 1 {
+		return fmt.Errorf("%w: Concurrency=%d", ErrBadConfig, c.Concurrency)
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBodyBytes < 1 {
+		return fmt.Errorf("%w: MaxBodyBytes=%d", ErrBadConfig, c.MaxBodyBytes)
+	}
+	if c.MaxPagesPerSite < 0 || c.MaxPages < 0 {
+		return fmt.Errorf("%w: negative page caps", ErrBadConfig)
+	}
+	return nil
+}
+
+// Stats summarises a crawl.
+type Stats struct {
+	Fetched       int // pages fetched successfully
+	Errors        int // transport or HTTP errors
+	SkippedCaps   int // frontier entries dropped by the page caps
+	SkippedRobots int // frontier entries disallowed by robots.txt
+}
+
+// Result is the outcome of a crawl: the reconstructed link graph (pages
+// keyed by canonical URL) plus accounting.
+type Result struct {
+	Graph *graph.Graph
+	Stats Stats
+	// Checkpoint is non-nil when the crawl was interrupted; pass it as
+	// Config.Resume to continue.
+	Checkpoint *Checkpoint
+}
+
+// page is one fetched document, recorded under its fetch URL.
+type page struct {
+	fetchURL  string   // normalised absolute URL the page was fetched from
+	canonical string   // canonical URL (falls back to fetchURL)
+	links     []string // normalised absolute target URLs
+}
+
+// Crawl performs a full crawl and reconstructs the link graph.
+func Crawl(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+
+	type fetchResult struct {
+		pg  page
+		err error
+	}
+
+	var (
+		mu          sync.Mutex
+		visited     = make(map[string]bool)
+		perSite     = make(map[string]int)
+		robots      = make(map[string]*robotsRules)
+		pages       []page
+		stats       Stats
+		pending     int
+		frontier    []string
+		interrupted bool
+	)
+	cond := sync.NewCond(&mu)
+
+	if cfg.Resume != nil {
+		stats = cfg.Resume.Stats
+		for _, u := range cfg.Resume.Visited {
+			visited[u] = true
+			if cfg.MaxPagesPerSite > 0 {
+				perSite[hostOf(u)]++
+			}
+		}
+		// Saved frontier entries are already visited; re-enqueue directly.
+		for _, u := range cfg.Resume.Frontier {
+			frontier = append(frontier, u)
+			pending++
+		}
+	}
+	if cfg.Interrupt != nil {
+		go func() {
+			<-cfg.Interrupt
+			mu.Lock()
+			interrupted = true
+			cond.Broadcast()
+			mu.Unlock()
+		}()
+	}
+
+	// robotsFor lazily loads one host's rules (callers hold mu; the fetch
+	// happens without it).
+	robotsFor := func(host string) *robotsRules {
+		if cfg.IgnoreRobots {
+			return nil
+		}
+		if r, ok := robots[host]; ok {
+			return r
+		}
+		mu.Unlock()
+		r := fetchRobots(cfg.Client, host)
+		mu.Lock()
+		if prev, ok := robots[host]; ok {
+			return prev // another goroutine raced us
+		}
+		robots[host] = r
+		return r
+	}
+
+	// enqueueLocked admits u to the frontier if new, robots-allowed and
+	// under the caps.
+	enqueueLocked := func(u string) {
+		if visited[u] {
+			return
+		}
+		if !cfg.IgnoreRobots {
+			pu, err := url.Parse(u)
+			if err != nil {
+				return
+			}
+			if !robotsFor(hostOf(u)).allowed(pu.Path) {
+				stats.SkippedRobots++
+				return
+			}
+			if visited[u] {
+				return // robots fetch released the lock; re-check
+			}
+		}
+		if cfg.MaxPages > 0 && len(visited) >= cfg.MaxPages {
+			stats.SkippedCaps++
+			return
+		}
+		if cfg.MaxPagesPerSite > 0 {
+			h := hostOf(u)
+			if perSite[h] >= cfg.MaxPagesPerSite {
+				stats.SkippedCaps++
+				return
+			}
+			perSite[h]++
+		}
+		visited[u] = true
+		frontier = append(frontier, u)
+		pending++
+		cond.Signal()
+	}
+
+	mu.Lock()
+	for _, s := range cfg.Seeds {
+		n, err := normalizeURL(s, nil)
+		if err != nil {
+			mu.Unlock()
+			return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
+		}
+		enqueueLocked(n)
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(frontier) == 0 && pending > 0 && !interrupted {
+					cond.Wait()
+				}
+				if interrupted || len(frontier) == 0 {
+					// Done or interrupted; wake the others and leave the
+					// remaining frontier for the checkpoint.
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				u := frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				mu.Unlock()
+
+				pg, body, err := fetch(cfg.Client, u, cfg.MaxBodyBytes)
+				if err == nil && cfg.OnFetch != nil {
+					cfg.OnFetch(u, body)
+				}
+
+				mu.Lock()
+				if err != nil {
+					stats.Errors++
+				} else {
+					stats.Fetched++
+					pages = append(pages, pg)
+					for _, link := range pg.links {
+						enqueueLocked(link)
+					}
+				}
+				pending--
+				if pending == 0 {
+					cond.Broadcast()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	res, err := assemble(pages, stats)
+	if err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	if interrupted {
+		ck := &Checkpoint{
+			Visited:  make([]string, 0, len(visited)),
+			Frontier: append([]string(nil), frontier...),
+			Stats:    stats,
+		}
+		for u := range visited {
+			ck.Visited = append(ck.Visited, u)
+		}
+		sort.Strings(ck.Visited)
+		res.Checkpoint = ck
+	}
+	mu.Unlock()
+	return res, nil
+}
+
+// fetch downloads one page and extracts its links, returning the raw body
+// for optional archiving.
+func fetch(client *http.Client, u string, maxBody int64) (page, []byte, error) {
+	resp, err := client.Get(u)
+	if err != nil {
+		return page{}, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
+		return page{}, nil, fmt.Errorf("crawler: %s: status %d", u, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return page{}, nil, err
+	}
+	pg, err := parsePage(u, body)
+	if err != nil {
+		return page{}, nil, err
+	}
+	return pg, body, nil
+}
+
+// parsePage extracts the canonical URL and same-host links of a document
+// fetched from fetchURL.
+func parsePage(fetchURL string, body []byte) (page, error) {
+	base, err := url.Parse(fetchURL)
+	if err != nil {
+		return page{}, err
+	}
+	hrefs, canonical := ExtractLinks(string(body))
+	pg := page{fetchURL: fetchURL, canonical: canonical}
+	if pg.canonical == "" {
+		pg.canonical = fetchURL
+	}
+	for _, h := range hrefs {
+		n, err := normalizeURL(h, base)
+		if err != nil {
+			continue // unparseable link: skip, as real crawlers do
+		}
+		// Stay on the crawled server: same scheme+host as the base.
+		if hostOf(n) != hostOf(fetchURL) {
+			continue
+		}
+		pg.links = append(pg.links, n)
+	}
+	return pg, nil
+}
+
+// Document is one archived crawl document for offline re-extraction.
+type Document struct {
+	// FetchURL is the URL the document was downloaded from.
+	FetchURL string
+	// Body is the raw HTML.
+	Body []byte
+}
+
+// Assemble rebuilds the link graph from archived documents without
+// re-fetching anything — the standard decoupling of a crawl pipeline
+// (fetch once, re-parse at will when the extractor improves).
+func Assemble(docs []Document) (*Result, error) {
+	pages := make([]page, 0, len(docs))
+	var stats Stats
+	for _, d := range docs {
+		pg, err := parsePage(d.FetchURL, d.Body)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: assemble %s: %w", d.FetchURL, err)
+		}
+		stats.Fetched++
+		pages = append(pages, pg)
+	}
+	return assemble(pages, stats)
+}
+
+// normalizeURL resolves ref against base (may be nil for absolute URLs)
+// and strips fragments.
+func normalizeURL(ref string, base *url.URL) (string, error) {
+	u, err := url.Parse(strings.TrimSpace(ref))
+	if err != nil {
+		return "", err
+	}
+	if base != nil {
+		u = base.ResolveReference(u)
+	}
+	if !u.IsAbs() {
+		return "", fmt.Errorf("crawler: relative URL %q without base", ref)
+	}
+	u.Fragment = ""
+	return u.String(), nil
+}
+
+func hostOf(u string) string {
+	p, err := url.Parse(u)
+	if err != nil {
+		return ""
+	}
+	return p.Scheme + "://" + p.Host
+}
+
+// assemble builds the canonical-URL link graph from the fetched pages.
+// Duplicate-canonical fetches merge; links to unfetched pages are dropped
+// (they were never downloaded, so the crawl cannot know their content).
+func assemble(pages []page, stats Stats) (*Result, error) {
+	// fetchURL -> canonical, for link resolution.
+	canonOf := make(map[string]string, len(pages))
+	for _, p := range pages {
+		canonOf[p.fetchURL] = p.canonical
+	}
+	// Deterministic node order: sorted canonical URLs.
+	canonSet := make(map[string]bool, len(pages))
+	for _, p := range pages {
+		canonSet[p.canonical] = true
+	}
+	canons := make([]string, 0, len(canonSet))
+	for c := range canonSet {
+		canons = append(canons, c)
+	}
+	sort.Strings(canons)
+
+	g := graph.New(len(canons))
+	ids := make(map[string]graph.NodeID, len(canons))
+	for _, c := range canons {
+		id, err := g.AddPage(graph.Page{URL: c, Site: -1})
+		if err != nil {
+			return nil, err
+		}
+		ids[c] = id
+	}
+	for _, p := range pages {
+		from := ids[p.canonical]
+		for _, link := range p.links {
+			tc, ok := canonOf[link]
+			if !ok {
+				continue // target never fetched
+			}
+			g.AddLink(from, ids[tc])
+		}
+	}
+	return &Result{Graph: g, Stats: stats}, nil
+}
+
+// FetchSeeds downloads a newline-separated seed list (such as the
+// webserver's /seeds.txt) and resolves each entry against the list's URL.
+func FetchSeeds(client *http.Client, listURL string) ([]string, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(listURL)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("crawler: seeds %s: status %d", listURL, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	base, err := url.Parse(listURL)
+	if err != nil {
+		return nil, err
+	}
+	var seeds []string
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := normalizeURL(line, base)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: seed line %q: %w", line, err)
+		}
+		seeds = append(seeds, n)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("crawler: empty seed list at %s", listURL)
+	}
+	return seeds, nil
+}

@@ -1,0 +1,134 @@
+package crawler
+
+import "strings"
+
+// This file is a minimal, dependency-free HTML scanner extracting exactly
+// what the crawler needs: anchor hrefs and the rel=canonical link. It
+// tolerates the usual messiness (attribute order, casing, single/double/
+// missing quotes) without pulling in a full HTML5 parser.
+
+// ExtractLinks returns the href of every <a> tag in document order, and
+// the href of the first <link rel="canonical"> if present.
+func ExtractLinks(body string) (hrefs []string, canonical string) {
+	for i := 0; i < len(body); {
+		lt := strings.IndexByte(body[i:], '<')
+		if lt < 0 {
+			break
+		}
+		i += lt + 1
+		tag, attrs, next := scanTag(body, i)
+		i = next
+		switch tag {
+		case "a":
+			if href, ok := attrs["href"]; ok && href != "" {
+				hrefs = append(hrefs, href)
+			}
+		case "link":
+			if canonical == "" &&
+				strings.EqualFold(attrs["rel"], "canonical") &&
+				attrs["href"] != "" {
+				canonical = attrs["href"]
+			}
+		}
+	}
+	return hrefs, canonical
+}
+
+// scanTag parses the tag starting at body[i] (just past '<') and returns
+// the lowercase tag name, its attributes and the index just past '>'.
+// Comments, closing tags and malformed fragments return an empty name.
+func scanTag(body string, i int) (name string, attrs map[string]string, next int) {
+	end := strings.IndexByte(body[i:], '>')
+	if end < 0 {
+		return "", nil, len(body)
+	}
+	content := body[i : i+end]
+	next = i + end + 1
+	if content == "" || content[0] == '/' || content[0] == '!' || content[0] == '?' {
+		return "", nil, next
+	}
+	// Tag name: leading run of letters/digits.
+	j := 0
+	for j < len(content) && isNameByte(content[j]) {
+		j++
+	}
+	name = strings.ToLower(content[:j])
+	attrs = parseAttrs(content[j:])
+	return name, attrs, next
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// parseAttrs parses ` key="value" key2='v' key3=v key4 ` fragments.
+func parseAttrs(s string) map[string]string {
+	attrs := make(map[string]string, 4)
+	i := 0
+	for i < len(s) {
+		// skip whitespace and stray slashes
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r' || s[i] == '/') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		// key
+		ks := i
+		for i < len(s) && s[i] != '=' && s[i] != ' ' && s[i] != '\t' && s[i] != '\n' && s[i] != '\r' {
+			i++
+		}
+		key := strings.ToLower(s[ks:i])
+		if key == "" {
+			i++
+			continue
+		}
+		// skip whitespace before '='
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			attrs[key] = "" // valueless attribute
+			continue
+		}
+		i++ // past '='
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			attrs[key] = ""
+			break
+		}
+		var val string
+		switch s[i] {
+		case '"', '\'':
+			q := s[i]
+			i++
+			vs := i
+			for i < len(s) && s[i] != q {
+				i++
+			}
+			val = s[vs:i]
+			if i < len(s) {
+				i++ // past closing quote
+			}
+		default:
+			vs := i
+			for i < len(s) && s[i] != ' ' && s[i] != '\t' && s[i] != '\n' && s[i] != '\r' {
+				i++
+			}
+			val = s[vs:i]
+		}
+		attrs[key] = htmlUnescape(val)
+	}
+	return attrs
+}
+
+// htmlUnescape handles the few entities that matter inside URLs.
+func htmlUnescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'")
+	return r.Replace(s)
+}

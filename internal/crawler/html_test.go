@@ -1,0 +1,87 @@
+package crawler
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtractLinksBasic(t *testing.T) {
+	body := `<html><head><link rel="canonical" href="http://a.example/x"></head>
+	<body><a href="/p/1.html">one</a> text <A HREF="/p/2.html">two</A></body></html>`
+	hrefs, canon := ExtractLinks(body)
+	if canon != "http://a.example/x" {
+		t.Fatalf("canonical = %q", canon)
+	}
+	want := []string{"/p/1.html", "/p/2.html"}
+	if !reflect.DeepEqual(hrefs, want) {
+		t.Fatalf("hrefs = %v, want %v", hrefs, want)
+	}
+}
+
+func TestExtractLinksQuoteStyles(t *testing.T) {
+	body := `<a href="/dq">a</a><a href='/sq'>b</a><a href=/uq>c</a>`
+	hrefs, _ := ExtractLinks(body)
+	want := []string{"/dq", "/sq", "/uq"}
+	if !reflect.DeepEqual(hrefs, want) {
+		t.Fatalf("hrefs = %v, want %v", hrefs, want)
+	}
+}
+
+func TestExtractLinksAttributeOrderAndNoise(t *testing.T) {
+	body := `<a class="x" target=_blank href="/late">x</a>
+	<a nohref>skip</a>
+	<a href="">skip-empty</a>
+	<!-- <a href="/commented">no</a> is inside a comment's text, but the
+	  scanner sees tags, so it may appear; real crawlers fetch it too -->
+	<a href="/q?x=1&amp;y=2">entity</a>`
+	hrefs, _ := ExtractLinks(body)
+	if hrefs[0] != "/late" {
+		t.Fatalf("hrefs[0] = %q", hrefs[0])
+	}
+	// entity-unescaped query
+	found := false
+	for _, h := range hrefs {
+		if h == "/q?x=1&y=2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("entity href missing: %v", hrefs)
+	}
+}
+
+func TestExtractLinksClosingAndSelfClosing(t *testing.T) {
+	body := `</a><br/><a href="/ok"/>done`
+	hrefs, _ := ExtractLinks(body)
+	if len(hrefs) != 1 || hrefs[0] != "/ok" {
+		t.Fatalf("hrefs = %v", hrefs)
+	}
+}
+
+func TestExtractCanonicalCaseAndFirstWins(t *testing.T) {
+	body := `<LINK REL="Canonical" HREF="http://first/">
+	<link rel="canonical" href="http://second/">`
+	_, canon := ExtractLinks(body)
+	if canon != "http://first/" {
+		t.Fatalf("canonical = %q", canon)
+	}
+}
+
+func TestExtractLinksMalformed(t *testing.T) {
+	// Truncated tags must not panic or loop.
+	for _, body := range []string{
+		"<", "<a", "<a href=", `<a href="`, "<a href='x", "< >", "<>", "<a href",
+	} {
+		hrefs, canon := ExtractLinks(body)
+		_ = hrefs
+		_ = canon
+	}
+}
+
+func TestExtractLinksIgnoresNonAnchorHref(t *testing.T) {
+	body := `<img href="/not-a-link"><area href="/also-not"><a href="/yes">y</a>`
+	hrefs, _ := ExtractLinks(body)
+	if len(hrefs) != 1 || hrefs[0] != "/yes" {
+		t.Fatalf("hrefs = %v", hrefs)
+	}
+}

@@ -1,0 +1,174 @@
+package crawler
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	// Missing file: fresh crawl.
+	c, err := LoadCheckpoint(path)
+	if err != nil || c != nil {
+		t.Fatalf("missing checkpoint -> (%v, %v)", c, err)
+	}
+	ck := &Checkpoint{
+		Visited:  []string{"http://a/", "http://b/"},
+		Frontier: []string{"http://b/"},
+		Stats:    Stats{Fetched: 1, Errors: 2},
+	}
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Visited) != 2 || len(got.Frontier) != 1 || got.Stats.Fetched != 1 || got.Stats.Errors != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// Corrupt file is an error, not a silent fresh start.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestInterruptAndResume interrupts a crawl partway, saves the checkpoint,
+// resumes, and verifies the two runs together cover exactly what one
+// uninterrupted crawl fetches — with no page fetched twice.
+func TestInterruptAndResume(t *testing.T) {
+	sim := testCorpus(t, 7)
+	ts, _ := serve(t, sim)
+	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the full crawl.
+	full, err := Crawl(Config{Seeds: seeds, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Checkpoint != nil {
+		t.Fatal("uninterrupted crawl returned a checkpoint")
+	}
+	if full.Stats.Fetched < 12 {
+		t.Skipf("corpus too small to interrupt meaningfully (%d pages)", full.Stats.Fetched)
+	}
+
+	// Phase 1: interrupt after ~half the pages.
+	interrupt := make(chan struct{})
+	var fetched atomic.Int64
+	var once sync.Once
+	limit := int64(full.Stats.Fetched / 2)
+	var mu sync.Mutex
+	docs := map[string][]byte{}
+	phase1, err := Crawl(Config{
+		Seeds:       seeds,
+		Client:      ts.Client(),
+		Concurrency: 2,
+		Interrupt:   interrupt,
+		OnFetch: func(u string, body []byte) {
+			mu.Lock()
+			docs[u] = append([]byte(nil), body...)
+			mu.Unlock()
+			if fetched.Add(1) >= limit {
+				once.Do(func() { close(interrupt) })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase1.Checkpoint == nil {
+		t.Fatal("interrupted crawl returned no checkpoint")
+	}
+	if phase1.Stats.Fetched >= full.Stats.Fetched {
+		t.Fatalf("interrupt did not stop the crawl: %d of %d", phase1.Stats.Fetched, full.Stats.Fetched)
+	}
+	if len(phase1.Checkpoint.Frontier) == 0 {
+		t.Fatal("checkpoint has an empty frontier despite interruption")
+	}
+
+	// Persist and reload, as a crashed process would.
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+	if err := phase1.Checkpoint.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	resume, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: resume to completion, archiving into the same doc set.
+	phase2, err := Crawl(Config{
+		Seeds:  seeds,
+		Client: ts.Client(),
+		Resume: resume,
+		OnFetch: func(u string, body []byte) {
+			mu.Lock()
+			if _, dup := docs[u]; dup {
+				t.Errorf("page %s fetched twice across phases", u)
+			}
+			docs[u] = append([]byte(nil), body...)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase2.Checkpoint != nil {
+		t.Fatal("resumed crawl still interrupted")
+	}
+	// Cumulative stats cover the full crawl.
+	if phase2.Stats.Fetched != full.Stats.Fetched {
+		t.Fatalf("cumulative fetched %d, want %d", phase2.Stats.Fetched, full.Stats.Fetched)
+	}
+	// The combined archive rebuilds the same graph as the full crawl.
+	all := make([]Document, 0, len(docs))
+	for u, body := range docs {
+		all = append(all, Document{FetchURL: u, Body: body})
+	}
+	rebuilt, err := Assemble(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rebuilt.Graph.AppendBinary(nil)) != string(full.Graph.AppendBinary(nil)) {
+		t.Fatal("resumed archive differs from the uninterrupted crawl")
+	}
+}
+
+func TestResumeRespectsPerSiteCounts(t *testing.T) {
+	sim := testCorpus(t, 8)
+	ts, _ := serve(t, sim)
+	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Crawl(Config{Seeds: seeds, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume from a fake checkpoint that already "used" most of the per
+	// -site budget: the resumed crawl must respect the remaining budget.
+	cap_ := full.Stats.Fetched/2 + 1
+	resume := &Checkpoint{Visited: nil, Frontier: nil}
+	res, err := Crawl(Config{
+		Seeds:           seeds,
+		Client:          ts.Client(),
+		Resume:          resume,
+		MaxPagesPerSite: cap_,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Fetched > cap_ {
+		t.Fatalf("resumed crawl fetched %d, cap %d", res.Stats.Fetched, cap_)
+	}
+}

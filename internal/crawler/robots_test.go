@@ -1,0 +1,155 @@
+package crawler
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/webserver"
+)
+
+func TestParseRobots(t *testing.T) {
+	body := `
+# comment
+User-agent: *
+Disallow: /private/
+Disallow: /tmp
+
+User-agent: googlebot
+Disallow: /only-for-google
+`
+	r := parseRobots(body)
+	if len(r.disallow) != 2 {
+		t.Fatalf("disallow = %v", r.disallow)
+	}
+	if r.allowed("/private/x") || r.allowed("/tmp") {
+		t.Fatal("disallowed path allowed")
+	}
+	if !r.allowed("/public") || !r.allowed("/only-for-google") {
+		t.Fatal("allowed path blocked")
+	}
+}
+
+func TestParseRobotsGroupSemantics(t *testing.T) {
+	// Our rules come only from groups containing *; consecutive agent
+	// lines share one group.
+	body := `
+User-agent: googlebot
+User-agent: *
+Disallow: /both
+
+User-agent: bingbot
+Disallow: /bing-only
+`
+	r := parseRobots(body)
+	if len(r.disallow) != 1 || r.disallow[0] != "/both" {
+		t.Fatalf("disallow = %v", r.disallow)
+	}
+}
+
+func TestParseRobotsLenient(t *testing.T) {
+	for _, body := range []string{
+		"", "garbage without colon", "Disallow: /orphan",
+		"User-agent: *\nDisallow:", // empty disallow = allow all
+		"Crawl-delay: 5\nUser-agent: *\nDisallow: /x",
+	} {
+		r := parseRobots(body)
+		if r == nil {
+			t.Fatalf("nil rules for %q", body)
+		}
+		if !r.allowed("/anything-else") {
+			t.Fatalf("lenient parse blocked /anything-else for %q", body)
+		}
+	}
+}
+
+func TestNilRulesAllowAll(t *testing.T) {
+	var r *robotsRules
+	if !r.allowed("/x") {
+		t.Fatal("nil rules blocked a path")
+	}
+}
+
+func TestCrawlRespectsRobots(t *testing.T) {
+	sim := testCorpus(t, 6)
+	g := sim.Graph().Clone()
+	srv, err := webserver.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disallow one specific page that the unrestricted crawl reaches.
+	var blockedPath string
+	full := func() int {
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Crawl(Config{Seeds: seeds, Client: ts.Client()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pick a non-seed fetched page to block next time.
+		for i := 0; i < res.Graph.NumNodes(); i++ {
+			u := res.Graph.Page(graph.NodeID(i)).URL
+			if id, ok := g.Lookup(u); ok && g.InDegree(id) > 0 {
+				blockedPath = webserver.PagePath(id)
+			}
+		}
+		return res.Stats.Fetched
+	}()
+	if blockedPath == "" {
+		t.Skip("no blockable page found")
+	}
+	srv.SetRobots([]string{blockedPath})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Crawl(Config{Seeds: seeds, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SkippedRobots == 0 {
+		t.Fatal("robots rule never applied")
+	}
+	if res.Stats.Fetched >= full {
+		t.Fatalf("robots did not reduce the crawl: %d vs %d", res.Stats.Fetched, full)
+	}
+	// Ignoring robots restores the full crawl.
+	res, err = Crawl(Config{Seeds: seeds, Client: ts.Client(), IgnoreRobots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Fetched != full || res.Stats.SkippedRobots != 0 {
+		t.Fatalf("IgnoreRobots crawl fetched %d, want %d", res.Stats.Fetched, full)
+	}
+}
+
+func TestRobotsFetchFailureAllowsAll(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/robots.txt":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case "/":
+			fmt.Fprint(w, `<a href="/a">a</a>`)
+		case "/a":
+			fmt.Fprint(w, "leaf")
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	res, err := Crawl(Config{Seeds: []string{srv.URL + "/"}, Client: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Fetched != 2 {
+		t.Fatalf("fetched %d, want 2 (robots error must allow all)", res.Stats.Fetched)
+	}
+}

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"pagequality/internal/quality"
+	"pagequality/internal/usersim"
+)
+
+// testHeadlineConfig shrinks the corpus so the full pipeline runs in
+// well under a second while preserving the experiment's shape.
+func testHeadlineConfig(seed int64) HeadlineConfig {
+	cfg := DefaultHeadlineConfig()
+	cfg.Corpus.Sites = 30
+	cfg.Corpus.BirthRate = 6
+	cfg.Corpus.Seed = seed
+	return cfg
+}
+
+func TestFigure1ReproducesPaperShape(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Params
+	if p.Q != 0.8 || p.N != 1e8 || p.R != 1e8 || p.P0 != 1e-8 {
+		t.Fatalf("figure 1 parameters drifted: %+v", p)
+	}
+	// Sigmoid: starts at ~0, ends at ~Q, monotone.
+	tr := res.Trajectory
+	if tr.P[0] > 1e-6 {
+		t.Fatalf("P(0) = %g", tr.P[0])
+	}
+	if last := tr.P[len(tr.P)-1]; math.Abs(last-0.8) > 0.01 {
+		t.Fatalf("P(40) = %g, want ~0.8", last)
+	}
+	for i := 1; i < len(tr.P); i++ {
+		if tr.P[i] < tr.P[i-1] {
+			t.Fatalf("popularity decreased at sample %d", i)
+		}
+	}
+	// Stage boundaries land where the paper draws them (~15 and ~30).
+	if res.Stages.ExpansionStart < 12 || res.Stages.ExpansionStart > 25 {
+		t.Fatalf("expansion start = %g", res.Stages.ExpansionStart)
+	}
+	if res.Stages.MaturityStart < res.Stages.ExpansionStart ||
+		res.Stages.MaturityStart > 35 {
+		t.Fatalf("maturity start = %g", res.Stages.MaturityStart)
+	}
+}
+
+func TestFigure2ReproducesPaperShape(t *testing.T) {
+	res, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params.Q != 0.2 || res.Params.P0 != 1e-9 {
+		t.Fatalf("figure 2 parameters drifted: %+v", res.Params)
+	}
+	n := len(res.T)
+	// Early (t<70): I ≈ Q, P ≈ 0 — the paper's "I(p,t) ≈ 0.2 = Q(p)".
+	early := n * 40 / 150
+	if math.Abs(res.I[early]-0.2) > 0.01 {
+		t.Fatalf("I(40) = %g, want ~0.2", res.I[early])
+	}
+	if res.P[early] > 0.01 {
+		t.Fatalf("P(40) = %g, want ~0", res.P[early])
+	}
+	// Late (t>120): I ≈ 0, P ≈ Q.
+	late := n * 140 / 150
+	if res.I[late] > 0.01 {
+		t.Fatalf("I(140) = %g, want ~0", res.I[late])
+	}
+	if math.Abs(res.P[late]-0.2) > 0.01 {
+		t.Fatalf("P(140) = %g, want ~0.2", res.P[late])
+	}
+	// I decreasing, P increasing throughout.
+	for i := 1; i < n; i++ {
+		if res.I[i] > res.I[i-1]+1e-12 {
+			t.Fatalf("I increased at %d", i)
+		}
+		if res.P[i] < res.P[i-1]-1e-12 {
+			t.Fatalf("P decreased at %d", i)
+		}
+	}
+}
+
+func TestFigure3FlatAtQ(t *testing.T) {
+	res, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Sum {
+		if math.Abs(s-0.2) > 1e-9 {
+			t.Fatalf("I+P at t=%g is %g, want exactly 0.2", res.T[i], s)
+		}
+	}
+}
+
+func TestFigure4Timeline(t *testing.T) {
+	sched := Figure4()
+	if len(sched.Times) != 4 {
+		t.Fatalf("timeline has %d crawls", len(sched.Times))
+	}
+	gaps := sched.Gaps()
+	if gaps[0] != 4 || gaps[1] != 4 || gaps[2] != 18 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	if len(Table1()) != 8 {
+		t.Fatalf("Table 1 has %d rows", len(Table1()))
+	}
+}
+
+// The headline §8.2 shape: the quality estimator predicts the future
+// PageRank better than the current PageRank — lower average error, larger
+// first histogram bin — and both rankings correlate positively with the
+// ground-truth quality, with Q at least as good.
+func TestHeadlineShape(t *testing.T) {
+	res, err := RunHeadline(testHeadlineConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesCommon == 0 || res.PagesCommon > res.PagesCrawled {
+		t.Fatalf("common=%d crawled=%d", res.PagesCommon, res.PagesCrawled)
+	}
+	if res.PagesChanged < 100 {
+		t.Fatalf("only %d changed pages — corpus too static for the experiment", res.PagesChanged)
+	}
+	if res.AvgErrQ >= res.AvgErrPR {
+		t.Fatalf("estimator avg error %.3f not below PageRank's %.3f", res.AvgErrQ, res.AvgErrPR)
+	}
+	if ratio := res.AvgErrPR / res.AvgErrQ; ratio < 1.1 {
+		t.Fatalf("improvement ratio %.2f < 1.1 — shape too weak", ratio)
+	}
+	if res.MedianErrQ >= res.MedianErrPR {
+		t.Fatalf("median error: Q %.3f not below PR %.3f", res.MedianErrQ, res.MedianErrPR)
+	}
+	if res.FracFirstQ <= res.FracFirstPR {
+		t.Fatalf("first-bin fraction: Q %.2f not above PR %.2f", res.FracFirstQ, res.FracFirstPR)
+	}
+	if res.HistQ.Total != res.HistPR.Total {
+		t.Fatalf("histogram totals differ: %d vs %d", res.HistQ.Total, res.HistPR.Total)
+	}
+	if res.TauQTruth <= 0 || res.TauPRTruth <= 0 {
+		t.Fatalf("rank correlations with truth not positive: %g, %g", res.TauQTruth, res.TauPRTruth)
+	}
+}
+
+func TestHeadlineDeterministic(t *testing.T) {
+	a, err := RunHeadline(testHeadlineConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHeadline(testHeadlineConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgErrQ != b.AvgErrQ || a.PagesChanged != b.PagesChanged {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestHeadlineScheduleValidation(t *testing.T) {
+	cfg := testHeadlineConfig(1)
+	cfg.EstimationSnaps = 4 // no future snapshot left
+	if _, err := RunHeadline(cfg); err == nil {
+		t.Fatal("schedule without future snapshot accepted")
+	}
+}
+
+// The C sweep: some C must beat C→0 (pure current PageRank), and the
+// curve must be smooth enough that neighbouring C values give similar
+// errors (the paper's "small variations ... did not affect our result
+// significantly").
+func TestAblationC(t *testing.T) {
+	cfg := testHeadlineConfig(2)
+	cs := []float64{1e-6, 0.5, 1.0, 1.5}
+	pts, err := AblationC(cfg, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(cs) {
+		t.Fatalf("%d points", len(pts))
+	}
+	// C→0 degenerates to the PageRank baseline.
+	if math.Abs(pts[0].AvgErrQ-pts[0].AvgErrPR) > 0.01 {
+		t.Fatalf("C→0 error %.3f != PR error %.3f", pts[0].AvgErrQ, pts[0].AvgErrPR)
+	}
+	// The tuned C=1.0 beats the degenerate baseline.
+	if pts[2].AvgErrQ >= pts[0].AvgErrQ {
+		t.Fatalf("C=1.0 error %.3f not below C→0 error %.3f", pts[2].AvgErrQ, pts[0].AvgErrQ)
+	}
+	// Neighbouring C values stay within a factor 1.5.
+	if pts[2].AvgErrQ/pts[1].AvgErrQ > 1.5 || pts[1].AvgErrQ/pts[2].AvgErrQ > 1.5 {
+		t.Fatalf("C curve not smooth: %.3f vs %.3f", pts[1].AvgErrQ, pts[2].AvgErrQ)
+	}
+	if _, err := AblationC(cfg, nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := AblationC(cfg, []float64{-1}); err == nil {
+		t.Fatal("negative C accepted")
+	}
+}
+
+// Forgetting ablation: without forgetting and noise the clean model
+// produces (almost) no consistently decreasing pages among the changed
+// ones; with them, decreasing pages appear in force, matching the paper's
+// observation that "many pages in our dataset showed consistent decrease
+// in their PageRanks".
+func TestAblationForgetting(t *testing.T) {
+	cfg := testHeadlineConfig(3)
+	res, err := AblationForgetting(cfg, 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decClean := res.ClassesClean[quality.ClassDecreasing]
+	decForg := res.ClassesForgetting[quality.ClassDecreasing]
+	if decForg <= decClean {
+		t.Fatalf("forgetting did not increase decreasing pages: clean=%d forgetting=%d", decClean, decForg)
+	}
+	if res.ClassesForgetting[quality.ClassFluctuating] == 0 {
+		t.Fatal("no fluctuating pages despite churn noise")
+	}
+}
+
+// Window ablation: a longer measurement window reduces the estimation
+// error for low-popularity pages (§9.1's statistical-noise remedy).
+func TestAblationWindow(t *testing.T) {
+	cfg := testHeadlineConfig(4)
+	pts, err := AblationWindow(cfg, []float64{1, 12}, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d window points", len(pts))
+	}
+	if pts[0].AvgErrQLow == 0 || pts[1].AvgErrQLow == 0 {
+		t.Fatal("no low-popularity pages measured")
+	}
+	// The paper's prediction: longer windows help the low-PR half. The
+	// effect is gradual, so compare the two extremes of the sweep.
+	if pts[1].AvgErrQLow >= pts[0].AvgErrQLow {
+		t.Fatalf("longer window did not reduce low-PR error: %.3f (1wk) vs %.3f (12wk)",
+			pts[0].AvgErrQLow, pts[1].AvgErrQLow)
+	}
+	// Validation of bad sweeps.
+	if _, err := AblationWindow(cfg, nil, 26); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := AblationWindow(cfg, []float64{8, 2}, 26); err == nil {
+		t.Fatal("non-increasing gaps accepted")
+	}
+	if _, err := AblationWindow(cfg, []float64{30}, 26); err == nil {
+		t.Fatal("gap beyond future accepted")
+	}
+}
+
+// ValidateModel: the agent simulation matches Theorem 1 within stochastic
+// tolerance and converges to Q.
+func TestValidateModel(t *testing.T) {
+	cfg := usersim.Config{
+		Users:        20000,
+		VisitRate:    20000,
+		Quality:      0.5,
+		InitialLikes: 100,
+		DT:           0.02,
+		Seed:         42,
+	}
+	v, err := ValidateModel(cfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MaxAbsDiff > 0.06 {
+		t.Fatalf("sup-norm deviation %.3f too large", v.MaxAbsDiff)
+	}
+	if math.Abs(v.FinalSim-0.5) > 0.03 || math.Abs(v.FinalModel-0.5) > 0.03 {
+		t.Fatalf("final popularity sim=%.3f model=%.3f, want ~0.5", v.FinalSim, v.FinalModel)
+	}
+	bad := cfg
+	bad.Users = 0
+	if _, err := ValidateModel(bad, 30); err == nil {
+		t.Fatal("invalid sim config accepted")
+	}
+}
+
+func BenchmarkHeadlineSmall(b *testing.B) {
+	cfg := testHeadlineConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunHeadline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Estimator ablation: on a densely crawled noisy corpus the regression
+// variant must not lose to the endpoint estimator, and the endpoint
+// estimator must have had fluctuating pages to fall back on.
+func TestAblationEstimator(t *testing.T) {
+	cfg := testHeadlineConfig(5)
+	cfg.Corpus.NoiseRate = 0.03 // make single crawls noisy
+	res, err := AblationEstimator(cfg, 5, 2, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FluctuatingFrac == 0 {
+		t.Fatal("no fluctuating pages despite churn")
+	}
+	if res.AvgErrRegression > res.AvgErrEndpoint*1.02 {
+		t.Fatalf("regression %.3f materially worse than endpoint %.3f",
+			res.AvgErrRegression, res.AvgErrEndpoint)
+	}
+	if _, err := AblationEstimator(cfg, 2, 2, 26); err == nil {
+		t.Fatal("too few crawls accepted")
+	}
+	if _, err := AblationEstimator(cfg, 5, 10, 26); err == nil {
+		t.Fatal("schedule overflowing future accepted")
+	}
+}
+
+// Solver ablation: all three PageRank solvers agree on the fixed point.
+func TestAblationPageRankSolver(t *testing.T) {
+	cfg := testHeadlineConfig(6)
+	pts, err := AblationPageRankSolver(cfg, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d solver points", len(pts))
+	}
+	for _, p := range pts[1:] {
+		if p.MaxDiff > 1e-6 {
+			t.Fatalf("solver %s deviates by %g", p.Name, p.MaxDiff)
+		}
+		if p.Iterations == 0 {
+			t.Fatalf("solver %s reports zero iterations", p.Name)
+		}
+	}
+}
+
+// The estimator's advantage must be statistically significant, not a
+// sampling fluke: the paired 95% bootstrap CI of errQ - errPR lies
+// entirely below zero.
+func TestHeadlineSignificance(t *testing.T) {
+	res, err := RunHeadline(testHeadlineConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiffCILo >= res.DiffCIHi {
+		t.Fatalf("degenerate CI [%g, %g]", res.DiffCILo, res.DiffCIHi)
+	}
+	if res.DiffCIHi >= 0 {
+		t.Fatalf("advantage not significant: CI [%g, %g]", res.DiffCILo, res.DiffCIHi)
+	}
+}
+
+// Rising stars: young high-quality pages rank at least as well under the
+// quality estimate as under raw PageRank — the paper's motivating claim.
+func TestRisingStars(t *testing.T) {
+	cfg := testHeadlineConfig(1)
+	res, err := RunRisingStars(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stars < 5 {
+		t.Fatalf("only %d stars", res.Stars)
+	}
+	if res.MeanPercentileQ < res.MeanPercentilePR {
+		t.Fatalf("quality percentile %.3f below PageRank %.3f",
+			res.MeanPercentileQ, res.MeanPercentilePR)
+	}
+	// The future confirms the stars rise: their eventual percentile is
+	// above their current PageRank percentile.
+	if res.MeanPercentileFuture <= res.MeanPercentilePR {
+		t.Fatalf("stars did not rise: future %.3f vs current %.3f",
+			res.MeanPercentileFuture, res.MeanPercentilePR)
+	}
+	if _, err := RunRisingStars(cfg, -1); err == nil {
+		t.Fatal("negative age window accepted")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	p := percentiles([]float64{10, 30, 20, 30})
+	// 10 -> rank 0, 20 -> rank 1, the two 30s share ranks 2,3 -> 2.5.
+	want := []float64{0, 2.5 / 3, 1.0 / 3, 2.5 / 3}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("percentiles = %v, want %v", p, want)
+		}
+	}
+}
+
+// Multi-seed robustness: the §8.2 shape holds with statistical
+// significance for every corpus draw tested.
+func TestHeadlineMultiSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed headline")
+	}
+	cfg := testHeadlineConfig(0)
+	res, err := RunHeadlineMultiSeed(cfg, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Factors) != 3 {
+		t.Fatalf("%d factors", len(res.Factors))
+	}
+	if res.MinFactor <= 1 {
+		t.Fatalf("worst-seed improvement factor %.2f <= 1", res.MinFactor)
+	}
+	if !res.AllSignificant {
+		t.Fatal("advantage not significant on every seed")
+	}
+	if _, err := RunHeadlineMultiSeed(cfg, nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// This file exports experiment results as CSV so the figures can be
+// re-plotted with external tooling (gnuplot, matplotlib, R). Each writer
+// emits a header row and one row per data point; cmd/experiments wires
+// them to the -csv flag.
+
+// WriteFigure1CSV emits t,P columns of the popularity evolution.
+func WriteFigure1CSV(w io.Writer, res *Figure1Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "popularity"}); err != nil {
+		return err
+	}
+	for i := range res.Trajectory.T {
+		if err := cw.Write([]string{
+			formatF(res.Trajectory.T[i]),
+			formatF(res.Trajectory.P[i]),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure2CSV emits t,I,P columns.
+func WriteFigure2CSV(w io.Writer, res *Figure2Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "I", "P"}); err != nil {
+		return err
+	}
+	for i := range res.T {
+		if err := cw.Write([]string{
+			formatF(res.T[i]), formatF(res.I[i]), formatF(res.P[i]),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure3CSV emits t,sum columns (the flat Theorem-2 line).
+func WriteFigure3CSV(w io.Writer, res *Figure3Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "I_plus_P"}); err != nil {
+		return err
+	}
+	for i := range res.T {
+		if err := cw.Write([]string{formatF(res.T[i]), formatF(res.Sum[i])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5CSV emits bin,fracQ,fracPR rows of the error histogram.
+func WriteFigure5CSV(w io.Writer, res *HeadlineResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bin", "frac_quality", "frac_pagerank"}); err != nil {
+		return err
+	}
+	fq := res.HistQ.Fractions()
+	fp := res.HistPR.Fractions()
+	for i := range fq {
+		if err := cw.Write([]string{
+			res.HistQ.Label(i), formatF(fq[i]), formatF(fp[i]),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHeadlineCSV emits the §8.2 summary as key,value rows.
+func WriteHeadlineCSV(w io.Writer, res *HeadlineResult) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{
+		{"metric", "value"},
+		{"pages_crawled", strconv.Itoa(res.PagesCrawled)},
+		{"pages_common", strconv.Itoa(res.PagesCommon)},
+		{"pages_changed", strconv.Itoa(res.PagesChanged)},
+		{"avg_err_quality", formatF(res.AvgErrQ)},
+		{"avg_err_pagerank", formatF(res.AvgErrPR)},
+		{"median_err_quality", formatF(res.MedianErrQ)},
+		{"median_err_pagerank", formatF(res.MedianErrPR)},
+		{"diff_ci_lo", formatF(res.DiffCILo)},
+		{"diff_ci_hi", formatF(res.DiffCIHi)},
+		{"frac_first_bin_quality", formatF(res.FracFirstQ)},
+		{"frac_first_bin_pagerank", formatF(res.FracFirstPR)},
+		{"frac_last_bin_quality", formatF(res.FracLastQ)},
+		{"frac_last_bin_pagerank", formatF(res.FracLastPR)},
+		{"tau_quality_vs_truth", formatF(res.TauQTruth)},
+		{"tau_pagerank_vs_truth", formatF(res.TauPRTruth)},
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAblationCCSV emits the C sweep.
+func WriteAblationCCSV(w io.Writer, pts []CPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"C", "avg_err_quality", "avg_err_pagerank"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			formatF(p.C), formatF(p.AvgErrQ), formatF(p.AvgErrPR),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteWindowCSV emits the measurement-window sweep.
+func WriteWindowCSV(w io.Writer, pts []WindowPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"gap_weeks", "avg_err_low_pr", "avg_err_high_pr"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			formatF(p.GapWeeks), formatF(p.AvgErrQLow), formatF(p.AvgErrQHigh),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

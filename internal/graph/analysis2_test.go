@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReciprocity(t *testing.T) {
+	// 0<->1 reciprocal, 0->2 one-way: 2 of 3 edges reciprocated.
+	g := New(3)
+	g.AddNodes(3)
+	g.AddLink(0, 1)
+	g.AddLink(1, 0)
+	g.AddLink(0, 2)
+	got := Reciprocity(Freeze(g))
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("reciprocity = %g, want 2/3", got)
+	}
+	// Pure cycle of length > 2: no reciprocal edges.
+	if r := Reciprocity(Freeze(cycleGraph(5))); r != 0 {
+		t.Fatalf("cycle reciprocity = %g", r)
+	}
+	// Empty graph.
+	if r := Reciprocity(Freeze(New(0))); r != 0 {
+		t.Fatalf("empty reciprocity = %g", r)
+	}
+	// Fully reciprocal pair.
+	g2 := New(2)
+	g2.AddNodes(2)
+	g2.AddLink(0, 1)
+	g2.AddLink(1, 0)
+	if r := Reciprocity(Freeze(g2)); r != 1 {
+		t.Fatalf("pair reciprocity = %g", r)
+	}
+}
+
+func TestClusteringCoefficientTriangleAndPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Triangle (undirected projection): every node's two neighbours are
+	// connected -> coefficient 1.
+	tri := New(3)
+	tri.AddNodes(3)
+	tri.AddLink(0, 1)
+	tri.AddLink(1, 2)
+	tri.AddLink(2, 0)
+	if c := ClusteringCoefficient(Freeze(tri), 0, rng); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("triangle clustering = %g, want 1", c)
+	}
+	// Path 0-1-2: node 1's neighbours are not connected -> 0.
+	path := New(3)
+	path.AddNodes(3)
+	path.AddLink(0, 1)
+	path.AddLink(1, 2)
+	if c := ClusteringCoefficient(Freeze(path), 0, rng); c != 0 {
+		t.Fatalf("path clustering = %g, want 0", c)
+	}
+	// Empty graph.
+	if c := ClusteringCoefficient(Freeze(New(0)), 0, rng); c != 0 {
+		t.Fatalf("empty clustering = %g", c)
+	}
+}
+
+func TestClusteringCoefficientSamplingAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := GeneratePreferentialAttachment(PreferentialAttachmentConfig{Nodes: 800, OutPerNode: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Freeze(g)
+	full := ClusteringCoefficient(c, 0, rand.New(rand.NewSource(3)))
+	sampled := ClusteringCoefficient(c, 300, rand.New(rand.NewSource(4)))
+	if full <= 0 {
+		t.Fatalf("BA graph clustering = %g, want > 0", full)
+	}
+	if math.Abs(full-sampled) > 0.05 {
+		t.Fatalf("sampled %g deviates from full %g", sampled, full)
+	}
+	// Deterministic under a fixed rng seed.
+	again := ClusteringCoefficient(c, 300, rand.New(rand.NewSource(4)))
+	if again != sampled {
+		t.Fatal("sampling not deterministic under fixed seed")
+	}
+}

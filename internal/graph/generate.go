@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the synthetic Web generators referenced by the
+// paper's related-work section: preferential attachment (Barabási–Albert
+// [4]), the copy model used to explain power-law in-degree distributions
+// [3, 6], uniform random (Erdős–Rényi) graphs as a null model, and a
+// bow-tie assembly following the global structure reported by Broder et
+// al. [6].
+
+// PreferentialAttachmentConfig parameterises GeneratePreferentialAttachment.
+type PreferentialAttachmentConfig struct {
+	// Nodes is the total number of pages to generate (>= Seed).
+	Nodes int
+	// OutPerNode is the number of links each newly arriving page creates
+	// toward existing pages (m in the Barabási–Albert model).
+	OutPerNode int
+	// Seed is the size of the initial fully connected clique (defaults to
+	// OutPerNode+1 when zero).
+	Seed int
+}
+
+// GeneratePreferentialAttachment builds a directed Barabási–Albert graph:
+// each arriving node links to OutPerNode existing nodes chosen with
+// probability proportional to their current in-degree plus one. The
+// resulting in-degree distribution follows a power law, matching the
+// observed Web [3, 4].
+func GeneratePreferentialAttachment(cfg PreferentialAttachmentConfig, rng *rand.Rand) (*Graph, error) {
+	if cfg.OutPerNode < 1 {
+		return nil, fmt.Errorf("graph: OutPerNode must be >= 1, got %d", cfg.OutPerNode)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = cfg.OutPerNode + 1
+	}
+	if cfg.Nodes < seed {
+		return nil, fmt.Errorf("graph: Nodes (%d) must be >= Seed (%d)", cfg.Nodes, seed)
+	}
+	g := New(cfg.Nodes)
+	g.AddNodes(cfg.Nodes)
+
+	// targets is the repeated-endpoint urn: node id appears once per
+	// in-link plus once for its base mass, so sampling uniformly from the
+	// urn realises the "proportional to in-degree + 1" rule.
+	urn := make([]NodeID, 0, cfg.Nodes*(cfg.OutPerNode+1))
+
+	// Fully connect the seed clique.
+	for i := 0; i < seed; i++ {
+		urn = append(urn, NodeID(i))
+		for j := 0; j < seed; j++ {
+			if i != j && g.AddLink(NodeID(i), NodeID(j)) {
+				urn = append(urn, NodeID(j))
+			}
+		}
+	}
+	for v := seed; v < cfg.Nodes; v++ {
+		id := NodeID(v)
+		added := 0
+		for attempts := 0; added < cfg.OutPerNode && attempts < 50*cfg.OutPerNode; attempts++ {
+			to := urn[rng.Intn(len(urn))]
+			if g.AddLink(id, to) {
+				urn = append(urn, to)
+				added++
+			}
+		}
+		urn = append(urn, id)
+	}
+	return g, nil
+}
+
+// GenerateCopyModel builds a graph under the linear copy model: each new
+// node picks a random prototype and, for each of its OutPerNode links,
+// copies the prototype's corresponding target with probability 1-beta or
+// links to a uniformly random node with probability beta. The copy model
+// produces power-law in-degrees with tunable exponent and strong
+// topical-cluster structure [6, 19].
+func GenerateCopyModel(nodes, outPerNode int, beta float64, rng *rand.Rand) (*Graph, error) {
+	if nodes < 2 || outPerNode < 1 {
+		return nil, fmt.Errorf("graph: invalid copy-model size nodes=%d out=%d", nodes, outPerNode)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: beta must be in [0,1], got %g", beta)
+	}
+	g := New(nodes)
+	g.AddNodes(nodes)
+	// Bootstrap: a small ring so early prototypes have links to copy.
+	boot := min(nodes, outPerNode+2)
+	for i := 0; i < boot; i++ {
+		g.AddLink(NodeID(i), NodeID((i+1)%boot))
+	}
+	for v := boot; v < nodes; v++ {
+		id := NodeID(v)
+		proto := NodeID(rng.Intn(v))
+		protoOut := g.OutLinks(proto)
+		for k := 0; k < outPerNode; k++ {
+			var to NodeID
+			if rng.Float64() < beta || len(protoOut) == 0 {
+				to = NodeID(rng.Intn(v))
+			} else {
+				to = protoOut[rng.Intn(len(protoOut))]
+			}
+			g.AddLink(id, to)
+		}
+	}
+	return g, nil
+}
+
+// GenerateUniform builds a directed Erdős–Rényi G(n, e) graph with exactly
+// e distinct random edges — the null model against which the power-law
+// generators are compared.
+func GenerateUniform(nodes, edges int, rng *rand.Rand) (*Graph, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("graph: need >= 2 nodes, got %d", nodes)
+	}
+	maxEdges := nodes * (nodes - 1)
+	if edges > maxEdges {
+		return nil, fmt.Errorf("graph: %d edges exceeds maximum %d", edges, maxEdges)
+	}
+	g := New(nodes)
+	g.AddNodes(nodes)
+	for g.NumEdges() < edges {
+		from := NodeID(rng.Intn(nodes))
+		to := NodeID(rng.Intn(nodes))
+		g.AddLink(from, to)
+	}
+	return g, nil
+}
+
+// BowTieConfig sizes the four regions of a Broder-style bow tie [6].
+type BowTieConfig struct {
+	Core      int // strongly connected core (SCC)
+	In        int // pages that reach the core but are not reached by it
+	Out       int // pages reached from the core that do not reach back
+	Tendrils  int // pages hanging off IN/OUT without touching the core
+	AvgDegree int // average out-degree within each region
+}
+
+// GenerateBowTie assembles a graph with the bow-tie macro structure
+// observed on the real Web: a strongly connected CORE, an IN region
+// linking into it, an OUT region linked from it, and TENDRILS attached to
+// IN and OUT. Region membership can be recovered with BowTie (analysis.go),
+// which the tests use to close the loop.
+func GenerateBowTie(cfg BowTieConfig, rng *rand.Rand) (*Graph, error) {
+	if cfg.Core < 2 {
+		return nil, fmt.Errorf("graph: bow-tie core must have >= 2 nodes, got %d", cfg.Core)
+	}
+	if cfg.AvgDegree < 1 {
+		cfg.AvgDegree = 3
+	}
+	total := cfg.Core + cfg.In + cfg.Out + cfg.Tendrils
+	g := New(total)
+	g.AddNodes(total)
+
+	coreLo, coreHi := 0, cfg.Core
+	inLo, inHi := coreHi, coreHi+cfg.In
+	outLo, outHi := inHi, inHi+cfg.Out
+	tenLo, tenHi := outHi, outHi+cfg.Tendrils
+
+	// CORE: a directed cycle guarantees strong connectivity; extra random
+	// chords give realistic density.
+	for i := coreLo; i < coreHi; i++ {
+		g.AddLink(NodeID(i), NodeID(coreLo+(i-coreLo+1)%cfg.Core))
+	}
+	for i := coreLo; i < coreHi; i++ {
+		for k := 0; k < cfg.AvgDegree-1; k++ {
+			g.AddLink(NodeID(i), NodeID(coreLo+rng.Intn(cfg.Core)))
+		}
+	}
+	// IN: links into the core (and a few into other IN pages, but never
+	// receiving links from core/out so the region stays upstream).
+	for i := inLo; i < inHi; i++ {
+		g.AddLink(NodeID(i), NodeID(coreLo+rng.Intn(cfg.Core)))
+		for k := 0; k < cfg.AvgDegree-1; k++ {
+			if rng.Float64() < 0.5 && i > inLo {
+				g.AddLink(NodeID(i), NodeID(inLo+rng.Intn(i-inLo)))
+			} else {
+				g.AddLink(NodeID(i), NodeID(coreLo+rng.Intn(cfg.Core)))
+			}
+		}
+	}
+	// OUT: linked from the core; OUT pages may link among themselves but
+	// never back to the core.
+	for i := outLo; i < outHi; i++ {
+		g.AddLink(NodeID(coreLo+rng.Intn(cfg.Core)), NodeID(i))
+		if i > outLo && rng.Float64() < 0.5 {
+			g.AddLink(NodeID(outLo+rng.Intn(i-outLo)), NodeID(i))
+		}
+	}
+	// TENDRILS: half hang off IN (IN→tendril), half feed OUT
+	// (tendril→OUT); neither touches the core.
+	for i := tenLo; i < tenHi; i++ {
+		if (i-tenLo)%2 == 0 && cfg.In > 0 {
+			g.AddLink(NodeID(inLo+rng.Intn(cfg.In)), NodeID(i))
+		} else if cfg.Out > 0 {
+			g.AddLink(NodeID(i), NodeID(outLo+rng.Intn(cfg.Out)))
+		}
+	}
+	return g, nil
+}

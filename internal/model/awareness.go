@@ -1,0 +1,64 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// AwarenessFromHistory evaluates Lemma 2 numerically: given the sampled
+// popularity history of a page from its creation (tr.T[0] must be the
+// birth time), the fraction of users aware of it at each sample is
+//
+//	A(p,t) = 1 - exp( -(r/n) · ∫₀ᵗ P(p,s) ds )
+//
+// with the integral computed by the trapezoid rule. This is the
+// measurable route to awareness the paper notes is otherwise unobservable
+// ("A(p,t) is difficult to measure because we do not know ... how many
+// users have visited it so far" — unless, as here, the full history is
+// known).
+func AwarenessFromHistory(tr Trajectory, n, r float64) ([]float64, error) {
+	if len(tr.T) != len(tr.P) {
+		return nil, fmt.Errorf("%w: trajectory length mismatch %d != %d", ErrBadParams, len(tr.T), len(tr.P))
+	}
+	if len(tr.T) < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 samples", ErrBadParams)
+	}
+	if n <= 0 || r <= 0 {
+		return nil, fmt.Errorf("%w: n=%g r=%g", ErrBadParams, n, r)
+	}
+	for i := 1; i < len(tr.T); i++ {
+		if tr.T[i] <= tr.T[i-1] {
+			return nil, fmt.Errorf("%w: times not strictly increasing at %d", ErrBadParams, i)
+		}
+	}
+	for i, p := range tr.P {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("%w: negative popularity at %d", ErrBadParams, i)
+		}
+	}
+	out := make([]float64, len(tr.T))
+	integral := 0.0
+	out[0] = 1 - math.Exp(-r/n*0) // zero history at birth
+	for i := 1; i < len(tr.T); i++ {
+		dt := tr.T[i] - tr.T[i-1]
+		integral += (tr.P[i] + tr.P[i-1]) / 2 * dt
+		out[i] = 1 - math.Exp(-r/n*integral)
+	}
+	return out, nil
+}
+
+// QualityFromHistory combines Lemma 1 with AwarenessFromHistory: given a
+// full popularity history, Q(p) = P(p,t)/A(p,t) at any time with positive
+// awareness. It returns the estimate at the final sample — an independent
+// route to the quality that does not use the time derivative at all.
+func QualityFromHistory(tr Trajectory, n, r float64) (float64, error) {
+	aw, err := AwarenessFromHistory(tr, n, r)
+	if err != nil {
+		return 0, err
+	}
+	last := len(aw) - 1
+	if aw[last] <= 0 {
+		return 0, fmt.Errorf("%w: zero awareness at the end of the history", ErrBadParams)
+	}
+	return tr.P[last] / aw[last], nil
+}

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAwarenessFromHistoryMatchesClosedForm(t *testing.T) {
+	// Lemma 2 numerical vs Lemma 1 analytic: A = P/Q.
+	p := Params{Q: 0.4, N: 1e8, R: 1e8, P0: 1e-6}
+	tr, err := p.Sample(60, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := AwarenessFromHistory(tr, p.N, p.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ti := range tr.T {
+		want := p.AwarenessAt(ti)
+		if math.Abs(aw[i]-want) > 2e-4 {
+			t.Fatalf("t=%g: numerical awareness %g vs analytic %g", ti, aw[i], want)
+		}
+	}
+	// Awareness is monotone non-decreasing in the base model.
+	for i := 1; i < len(aw); i++ {
+		if aw[i] < aw[i-1]-1e-15 {
+			t.Fatalf("awareness decreased at %d", i)
+		}
+	}
+}
+
+func TestQualityFromHistoryRecoversQ(t *testing.T) {
+	p := Params{Q: 0.7, N: 1e8, R: 1e8, P0: 1e-7}
+	tr, err := p.Sample(80, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := QualityFromHistory(tr, p.N, p.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-p.Q) > 1e-3 {
+		t.Fatalf("QualityFromHistory = %g, want %g", got, p.Q)
+	}
+}
+
+// QualityFromHistory also works early in a page's life (mid-expansion),
+// where neither popularity nor relative increase alone would suffice.
+func TestQualityFromHistoryEarlyLife(t *testing.T) {
+	p := Params{Q: 0.5, N: 1e8, R: 1e8, P0: 1e-6}
+	// Stop mid-expansion: P is still well below Q.
+	tEnd, err := p.TimeToReach(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Sample(tEnd, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := QualityFromHistory(tr, p.N, p.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-p.Q) > 5e-3 {
+		t.Fatalf("early-life quality = %g, want %g (P was only %g)", got, p.Q, tr.P[len(tr.P)-1])
+	}
+}
+
+func TestAwarenessFromHistoryValidation(t *testing.T) {
+	good := Trajectory{T: []float64{0, 1}, P: []float64{0.1, 0.2}}
+	cases := []struct {
+		tr   Trajectory
+		n, r float64
+	}{
+		{Trajectory{T: []float64{0}, P: []float64{1, 2}}, 1, 1},
+		{Trajectory{T: []float64{0}, P: []float64{1}}, 1, 1},
+		{Trajectory{T: []float64{0, 0}, P: []float64{1, 1}}, 1, 1},
+		{Trajectory{T: []float64{0, 1}, P: []float64{1, -1}}, 1, 1},
+		{good, 0, 1},
+		{good, 1, -1},
+	}
+	for i, c := range cases {
+		if _, err := AwarenessFromHistory(c.tr, c.n, c.r); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Zero awareness (no popularity ever): QualityFromHistory must error.
+	dead := Trajectory{T: []float64{0, 1}, P: []float64{0, 0}}
+	if _, err := QualityFromHistory(dead, 1e6, 1e6); !errors.Is(err, ErrBadParams) {
+		t.Fatal("dead page accepted")
+	}
+}

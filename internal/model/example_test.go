@@ -1,0 +1,53 @@
+package model_test
+
+import (
+	"fmt"
+
+	"pagequality/internal/model"
+)
+
+// The Figure-1 setting: a high-quality page in a 100M-user Web. The
+// popularity follows the Theorem-1 sigmoid, but the estimator I + P
+// reports the quality exactly at every age.
+func ExampleParams_EstimateQ() {
+	p := model.Params{Q: 0.8, N: 1e8, R: 1e8, P0: 1e-8}
+	for _, t := range []float64{5, 20, 35} {
+		fmt.Printf("t=%2.0f  popularity=%.4f  estimate=%.4f\n",
+			t, p.PopularityAt(t), p.EstimateQ(t))
+	}
+	// Output:
+	// t= 5  popularity=0.0000  estimate=0.8000
+	// t=20  popularity=0.0800  estimate=0.8000
+	// t=35  popularity=0.8000  estimate=0.8000
+}
+
+// Life stages of the Figure-1 page: infancy ends when popularity reaches
+// 5% of the quality, maturity begins at 95%.
+func ExampleParams_Stages() {
+	p := model.Params{Q: 0.8, N: 1e8, R: 1e8, P0: 1e-8}
+	b, err := p.Stages(model.StageThresholds{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("expansion starts ~week %.0f, maturity ~week %.0f\n",
+		b.ExpansionStart, b.MaturityStart)
+	// Output:
+	// expansion starts ~week 19, maturity ~week 26
+}
+
+// Fitting the logistic model to an observed trajectory recovers the
+// quality from the curve's plateau.
+func ExampleFitLogistic() {
+	truth := model.Params{Q: 0.6, N: 1e8, R: 1e8, P0: 1e-5}
+	tr, err := truth.Sample(40, 100)
+	if err != nil {
+		panic(err)
+	}
+	fit, err := model.FitLogistic(tr, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitted quality %.3f (true 0.600)\n", fit.Q)
+	// Output:
+	// fitted quality 0.600 (true 0.600)
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogisticFit is the result of fitting the Theorem-1 logistic
+//
+//	P(t) = Q / (1 + (Q/P0 - 1)·e^(-Rate·t))
+//
+// to an observed popularity trajectory. Under the user-visitation model
+// Rate = (r/n)·Q, so with known n and r the fit yields two independent
+// estimates of the quality: the plateau Q and Rate·n/r. Their agreement
+// is a goodness-of-model check the tests exploit.
+type LogisticFit struct {
+	// Q is the fitted plateau (the quality under the model).
+	Q float64
+	// Rate is the fitted logistic growth rate.
+	Rate float64
+	// P0 is the fitted popularity at t = 0.
+	P0 float64
+	// RMSE is the root-mean-square residual in popularity space.
+	RMSE float64
+}
+
+// Params converts the fit into model parameters for the given user
+// population and visit rate.
+func (f LogisticFit) Params(n, r float64) Params {
+	return Params{Q: f.Q, N: n, R: r, P0: f.P0}
+}
+
+// FitLogistic fits the logistic curve to a trajectory by profiling the
+// plateau: for a fixed candidate Q the transform
+//
+//	z = ln(Q/P - 1) = ln(Q/P0 - 1) - Rate·t
+//
+// is linear in t, so Rate and P0 follow from ordinary least squares; the
+// outer one-dimensional search over Q (golden section on the residual sum
+// of squares) finds the plateau. qMax bounds the search (use 1 for
+// popularity data; pass a larger bound for unnormalised proxies such as
+// visit rates). Every popularity sample must be positive.
+func FitLogistic(tr Trajectory, qMax float64) (LogisticFit, error) {
+	m := len(tr.T)
+	if m != len(tr.P) {
+		return LogisticFit{}, fmt.Errorf("%w: trajectory length mismatch %d != %d", ErrBadParams, m, len(tr.P))
+	}
+	if m < 3 {
+		return LogisticFit{}, fmt.Errorf("%w: need >= 3 samples to fit", ErrBadParams)
+	}
+	maxP := 0.0
+	for i, p := range tr.P {
+		if p <= 0 || math.IsNaN(p) {
+			return LogisticFit{}, fmt.Errorf("%w: non-positive popularity at sample %d", ErrBadParams, i)
+		}
+		if i > 0 && tr.T[i] <= tr.T[i-1] {
+			return LogisticFit{}, fmt.Errorf("%w: times not strictly increasing at %d", ErrBadParams, i)
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if qMax <= maxP {
+		return LogisticFit{}, fmt.Errorf("%w: qMax %g not above max popularity %g", ErrBadParams, qMax, maxP)
+	}
+
+	// rss evaluates the profiled residual for a candidate plateau.
+	rss := func(q float64) (float64, float64, float64) { // rss, rate, p0
+		var sx, sy, sxx, sxy float64
+		for i := 0; i < m; i++ {
+			z := math.Log(q/tr.P[i] - 1)
+			sx += tr.T[i]
+			sy += z
+			sxx += tr.T[i] * tr.T[i]
+			sxy += tr.T[i] * z
+		}
+		k := float64(m)
+		den := k*sxx - sx*sx
+		if den == 0 {
+			return math.Inf(1), 0, 0
+		}
+		slope := (k*sxy - sx*sy) / den
+		inter := (sy - slope*sx) / k
+		rate := -slope
+		c := math.Exp(inter) // Q/P0 - 1
+		p0 := q / (1 + c)
+		// Residual in popularity space.
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			pred := q / (1 + c*math.Exp(-rate*tr.T[i]))
+			d := pred - tr.P[i]
+			sum += d * d
+		}
+		return sum, rate, p0
+	}
+
+	// Golden-section search for the plateau on (maxP·(1+eps), qMax].
+	lo := maxP * (1 + 1e-9)
+	hi := qMax
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, _, _ := rss(x1)
+	f2, _, _ := rss(x2)
+	for iter := 0; iter < 200 && (b-a) > 1e-12*(1+b); iter++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1, _, _ = rss(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2, _, _ = rss(x2)
+		}
+	}
+	q := (a + b) / 2
+	sum, rate, p0 := rss(q)
+	if math.IsInf(sum, 1) || math.IsNaN(sum) || rate <= 0 || p0 <= 0 {
+		return LogisticFit{}, fmt.Errorf("%w: trajectory is not logistic-shaped", ErrBadParams)
+	}
+	return LogisticFit{
+		Q:    q,
+		Rate: rate,
+		P0:   p0,
+		RMSE: math.Sqrt(sum / float64(m)),
+	}, nil
+}

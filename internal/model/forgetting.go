@@ -1,0 +1,94 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// ForgettingParams extends the user-visitation model with the §9.1
+// "decreasing popularity" revision: users forget pages they have visited
+// at rate Phi per unit time, so awareness obeys
+//
+//	dA/dt = (1 - A)·(r/n)·P - Phi·A
+//
+// With P = A·Q (Lemma 1 still holds) the popularity ODE becomes
+//
+//	dP/dt = (r/n)·P·(Q - P) - Phi·P = (r/n)·P·(Qeff - P)
+//
+// with effective quality Qeff = Q - Phi·n/r — again a Verhulst equation,
+// so a closed form is available. When Qeff < P(p,0) the popularity
+// *decreases* over time, which the base model cannot express and which the
+// paper observed for many real pages.
+type ForgettingParams struct {
+	Params
+	// Phi is the per-unit-time forgetting rate, >= 0.
+	Phi float64
+}
+
+// Validate checks the extended parameter domain.
+func (f ForgettingParams) Validate() error {
+	if err := f.Params.Validate(); err != nil {
+		return err
+	}
+	if f.Phi < 0 || math.IsNaN(f.Phi) {
+		return fmt.Errorf("%w: Phi=%g must be >= 0", ErrBadParams, f.Phi)
+	}
+	return nil
+}
+
+// EffectiveQuality returns Qeff = Q - Phi·n/r, the popularity level the
+// page converges to (clamped at 0 when forgetting dominates).
+func (f ForgettingParams) EffectiveQuality() float64 {
+	return f.Q - f.Phi*f.N/f.R
+}
+
+// PopularityAt evaluates the closed-form solution of the forgetting ODE.
+//
+// For Qeff != 0 the solution is the logistic
+//
+//	P(t) = Qeff / (1 + (Qeff/P0 - 1)·e^(-(r/n)·Qeff·t))
+//
+// which decays toward 0 when Qeff <= 0 (the exponential grows) and
+// converges to Qeff when Qeff > 0. The degenerate Qeff == 0 case reduces
+// to dP/dt = -(r/n)P², i.e. P(t) = P0 / (1 + (r/n)·P0·t).
+func (f ForgettingParams) PopularityAt(t float64) float64 {
+	k := f.R / f.N
+	qe := f.EffectiveQuality()
+	if qe == 0 {
+		return f.P0 / (1 + k*f.P0*t)
+	}
+	c := qe/f.P0 - 1
+	return qe / (1 + c*math.Exp(-k*qe*t))
+}
+
+// Derivative evaluates dP/dt = (r/n)·P·(Qeff - P).
+func (f ForgettingParams) Derivative(t float64) float64 {
+	pt := f.PopularityAt(t)
+	return f.R / f.N * pt * (f.EffectiveQuality() - pt)
+}
+
+// RelativeIncrease evaluates I(p,t) under forgetting. Note Theorem 2 now
+// yields I + P = Qeff, *not* Q: forgetting biases the estimator downward
+// by exactly Phi·n/r, which is the correction §9.1 anticipates.
+func (f ForgettingParams) RelativeIncrease(t float64) float64 {
+	return f.N / f.R * f.Derivative(t) / f.PopularityAt(t)
+}
+
+// EstimateQ evaluates I(p,t) + P(p,t) under forgetting (equals Qeff).
+func (f ForgettingParams) EstimateQ(t float64) float64 {
+	return f.RelativeIncrease(t) + f.PopularityAt(t)
+}
+
+// CorrectedEstimateQ adds the forgetting correction Phi·n/r back, restoring
+// an unbiased estimate of the true Q when Phi is known.
+func (f ForgettingParams) CorrectedEstimateQ(t float64) float64 {
+	return f.EstimateQ(t) + f.Phi*f.N/f.R
+}
+
+// ODE returns the right-hand side of the forgetting popularity ODE for
+// numerical cross-checks.
+func (f ForgettingParams) ODE() func(t, y float64) float64 {
+	k := f.R / f.N
+	qe := f.EffectiveQuality()
+	return func(_, y float64) float64 { return k * y * (qe - y) }
+}

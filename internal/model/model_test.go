@@ -1,0 +1,433 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// figure1Params are the exact parameters of the paper's Figure 1.
+func figure1Params() Params {
+	return Params{Q: 0.8, N: 1e8, R: 1e8, P0: 1e-8}
+}
+
+// figure2Params are the exact parameters of the paper's Figures 2 and 3.
+func figure2Params() Params {
+	return Params{Q: 0.2, N: 1e8, R: 1e8, P0: 1e-9}
+}
+
+func TestValidate(t *testing.T) {
+	good := figure1Params()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Q: 0, N: 1, R: 1, P0: 0.1},
+		{Q: 1.5, N: 1, R: 1, P0: 0.1},
+		{Q: 0.5, N: 0, R: 1, P0: 0.1},
+		{Q: 0.5, N: 1, R: 0, P0: 0.1},
+		{Q: 0.5, N: 1, R: 1, P0: 0},
+		{Q: 0.5, N: 1, R: 1, P0: 0.6}, // P0 > Q
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: params %+v accepted", i, p)
+		}
+	}
+}
+
+func TestPopularityAtBoundary(t *testing.T) {
+	p := figure1Params()
+	if got := p.PopularityAt(0); math.Abs(got-p.P0)/p.P0 > 1e-9 {
+		t.Fatalf("P(0) = %g, want P0 = %g", got, p.P0)
+	}
+}
+
+// Corollary 1: P(p,t) -> Q as t -> infinity.
+func TestCorollary1Convergence(t *testing.T) {
+	p := figure1Params()
+	if got := p.PopularityAt(1e6); math.Abs(got-p.Q) > 1e-12 {
+		t.Fatalf("P(inf) = %g, want Q = %g", got, p.Q)
+	}
+}
+
+// Figure 1: the popularity curve is sigmoidal with the three stages at
+// roughly the times the paper plots (infant until ~t=15..25, expansion
+// until ~t=25..35, maturity after).
+func TestFigure1Shape(t *testing.T) {
+	p := figure1Params()
+	// Monotone increasing.
+	prev := -1.0
+	for ti := 0.0; ti <= 40; ti += 0.5 {
+		v := p.PopularityAt(ti)
+		if v <= prev {
+			t.Fatalf("P not strictly increasing at t=%g", ti)
+		}
+		prev = v
+	}
+	// Infant stage: at t=10 popularity is still negligible.
+	if v := p.PopularityAt(10); v > 0.01 {
+		t.Fatalf("P(10) = %g, expected infant-stage (<0.01)", v)
+	}
+	// Maturity: by t=35 the popularity has essentially saturated at Q.
+	if v := p.PopularityAt(35); v < 0.95*p.Q {
+		t.Fatalf("P(35) = %g, expected near Q=%g", v, p.Q)
+	}
+	b, err := p.Stages(StageThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ExpansionStart < 15 || b.ExpansionStart > 25 {
+		t.Fatalf("expansion start = %g, want ~15..25", b.ExpansionStart)
+	}
+	if b.MaturityStart < 22 || b.MaturityStart > 35 {
+		t.Fatalf("maturity start = %g, want ~22..35", b.MaturityStart)
+	}
+	if b.MaturityStart <= b.ExpansionStart {
+		t.Fatal("maturity before expansion")
+	}
+}
+
+// Lemma 1: P(p,t) = A(p,t) · Q(p).
+func TestLemma1(t *testing.T) {
+	p := figure2Params()
+	for _, ti := range []float64{0, 10, 50, 100, 200} {
+		if got, want := p.AwarenessAt(ti)*p.Q, p.PopularityAt(ti); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("t=%g: A·Q = %g, P = %g", ti, got, want)
+		}
+	}
+}
+
+// Theorem 2: Q(p) = I(p,t) + P(p,t) for all t, exactly.
+func TestTheorem2Identity(t *testing.T) {
+	p := figure2Params()
+	for ti := 0.0; ti <= 150; ti += 1.0 {
+		got := p.EstimateQ(ti)
+		if math.Abs(got-p.Q) > 1e-9 {
+			t.Fatalf("t=%g: I+P = %.12f, want Q = %g", ti, got, p.Q)
+		}
+	}
+}
+
+// Property form of Theorem 2 over random parameters and times.
+func TestQuickTheorem2(t *testing.T) {
+	f := func(q, p0frac, tRaw float64) bool {
+		q = 0.05 + math.Abs(math.Mod(q, 0.9))              // (0.05, 0.95)
+		p0 := q * (1e-9 + math.Abs(math.Mod(p0frac, 0.5))) // well below Q
+		ti := math.Abs(math.Mod(tRaw, 500))
+		p := Params{Q: q, N: 1e8, R: 1e8, P0: p0}
+		if p.Validate() != nil {
+			return true // skip out-of-domain draws
+		}
+		est := p.EstimateQ(ti)
+		return math.Abs(est-q) < 1e-6*q+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 2 behaviour: early on I ≈ Q and P ≈ 0; late, P ≈ Q and I ≈ 0.
+func TestFigure2Complementarity(t *testing.T) {
+	p := figure2Params()
+	if i0 := p.RelativeIncrease(10); math.Abs(i0-p.Q) > 0.01 {
+		t.Fatalf("I(10) = %g, want ~Q=%g", i0, p.Q)
+	}
+	if pop := p.PopularityAt(10); pop > 0.01 {
+		t.Fatalf("P(10) = %g, want ~0", pop)
+	}
+	if i1 := p.RelativeIncrease(150); i1 > 0.01 {
+		t.Fatalf("I(150) = %g, want ~0", i1)
+	}
+	if pop := p.PopularityAt(150); math.Abs(pop-p.Q) > 0.01 {
+		t.Fatalf("P(150) = %g, want ~Q=%g", pop, p.Q)
+	}
+	// I is monotonically decreasing, P increasing: they cross exactly once.
+	crossings := 0
+	prev := p.RelativeIncrease(0) - p.PopularityAt(0)
+	for ti := 1.0; ti <= 150; ti++ {
+		cur := p.RelativeIncrease(ti) - p.PopularityAt(ti)
+		if prev > 0 && cur <= 0 {
+			crossings++
+		}
+		prev = cur
+	}
+	if crossings != 1 {
+		t.Fatalf("I and P crossed %d times, want 1", crossings)
+	}
+}
+
+// The closed form of Theorem 1 must match direct RK4 integration of the
+// Verhulst equation.
+func TestTheorem1MatchesRK4(t *testing.T) {
+	for _, p := range []Params{figure1Params(), figure2Params(), {Q: 0.5, N: 1e6, R: 5e6, P0: 1e-4}} {
+		tr, err := p.IntegrateNumerically(60, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ti := range tr.T {
+			want := p.PopularityAt(ti)
+			if math.Abs(tr.P[i]-want) > 1e-8+1e-6*want {
+				t.Fatalf("params %+v t=%g: RK4 %g vs closed form %g", p, ti, tr.P[i], want)
+			}
+		}
+	}
+}
+
+func TestDerivativeMatchesFiniteDifference(t *testing.T) {
+	p := figure2Params()
+	const h = 1e-5
+	for _, ti := range []float64{20, 60, 100} {
+		fd := (p.PopularityAt(ti+h) - p.PopularityAt(ti-h)) / (2 * h)
+		an := p.Derivative(ti)
+		if math.Abs(fd-an) > 1e-7*math.Max(1, math.Abs(an)) {
+			t.Fatalf("t=%g: analytic %g vs finite diff %g", ti, an, fd)
+		}
+	}
+}
+
+func TestTimeToReachInverts(t *testing.T) {
+	p := figure1Params()
+	for _, target := range []float64{1e-6, 0.01, 0.4, 0.79} {
+		ti, err := p.TimeToReach(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.PopularityAt(ti); math.Abs(got-target) > 1e-9*math.Max(1, target) {
+			t.Fatalf("target %g: P(TimeToReach) = %g", target, got)
+		}
+	}
+	if _, err := p.TimeToReach(p.Q); err == nil {
+		t.Fatal("TimeToReach(Q) accepted")
+	}
+	if ti, err := p.TimeToReach(p.P0 / 2); err != nil || ti != 0 {
+		t.Fatalf("target below P0 -> (%g,%v), want (0,nil)", ti, err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	p := figure2Params()
+	tr, err := p.Sample(150, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.T) != 301 || len(tr.P) != 301 {
+		t.Fatalf("sample lengths %d,%d", len(tr.T), len(tr.P))
+	}
+	if tr.T[0] != 0 || tr.T[300] != 150 {
+		t.Fatalf("grid endpoints %g,%g", tr.T[0], tr.T[300])
+	}
+	if _, err := p.Sample(-1, 10); err == nil {
+		t.Fatal("negative tMax accepted")
+	}
+	if _, err := p.Sample(10, 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, err := (Params{}).Sample(10, 10); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// The discrete estimator applied to dense samples of the model trajectory
+// must recover Q closely — this is the bridge from Theorem 2 to the
+// snapshot-based estimator of Section 8.
+func TestEstimateFromSamplesRecoversQ(t *testing.T) {
+	p := figure2Params()
+	tr, err := p.Sample(150, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateFromSamples(tr, p.N, p.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the endpoints (one-sided differences are less accurate).
+	for i := 1; i < len(est)-1; i++ {
+		if math.Abs(est[i]-p.Q) > 0.002 {
+			t.Fatalf("sample %d (t=%g): est %g, want %g", i, tr.T[i], est[i], p.Q)
+		}
+	}
+}
+
+func TestEstimateFromSamplesValidation(t *testing.T) {
+	if _, err := EstimateFromSamples(Trajectory{T: []float64{0}, P: []float64{1, 2}}, 1, 1); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := EstimateFromSamples(Trajectory{T: []float64{0}, P: []float64{1}}, 1, 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := EstimateFromSamples(Trajectory{T: []float64{0, 1}, P: []float64{1, 2}}, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := EstimateFromSamples(Trajectory{T: []float64{0, 1, 2}, P: []float64{1, 0, 2}}, 1, 1); err == nil {
+		t.Fatal("non-positive popularity accepted")
+	}
+}
+
+func TestRK4Validation(t *testing.T) {
+	f := func(_, y float64) float64 { return y }
+	if _, err := RK4(f, 1, 0, 1, 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, err := RK4(f, 1, 1, 0, 10); err == nil {
+		t.Fatal("t1 <= t0 accepted")
+	}
+}
+
+func TestRK4Exponential(t *testing.T) {
+	// y' = y, y(0)=1 -> e^t.
+	tr, err := RK4(func(_, y float64) float64 { return y }, 1, 0, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(2)
+	if got := tr.P[len(tr.P)-1]; math.Abs(got-want) > 1e-8 {
+		t.Fatalf("RK4 e^2 = %g, want %g", got, want)
+	}
+}
+
+func TestStageAt(t *testing.T) {
+	p := figure1Params()
+	cases := []struct {
+		t    float64
+		want Stage
+	}{
+		{5, StageInfant},
+		{22, StageExpansion},
+		{38, StageMaturity},
+	}
+	for _, c := range cases {
+		got, err := p.StageAt(c.t, StageThresholds{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("StageAt(%g) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if _, err := p.StageAt(1, StageThresholds{LoFrac: 0.9, HiFrac: 0.1}); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageInfant.String() != "infant" || StageExpansion.String() != "expansion" ||
+		StageMaturity.String() != "maturity" || Stage(9).String() == "" {
+		t.Fatal("Stage.String wrong")
+	}
+}
+
+func TestForgettingValidation(t *testing.T) {
+	f := ForgettingParams{Params: figure1Params(), Phi: -0.1}
+	if err := f.Validate(); !errors.Is(err, ErrBadParams) {
+		t.Fatal("negative Phi accepted")
+	}
+	f.Phi = 0.1
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With Phi = 0 the forgetting model reduces exactly to the base model.
+func TestForgettingPhiZeroReduces(t *testing.T) {
+	p := figure2Params()
+	f := ForgettingParams{Params: p}
+	for _, ti := range []float64{0, 25, 80, 140} {
+		if got, want := f.PopularityAt(ti), p.PopularityAt(ti); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("t=%g: forgetting %g vs base %g", ti, got, want)
+		}
+	}
+}
+
+// §9.1: forgetting lets popularity decrease — a page born more popular
+// than its effective quality loses popularity over time.
+func TestForgettingDecreasingPopularity(t *testing.T) {
+	f := ForgettingParams{
+		Params: Params{Q: 0.5, N: 1e8, R: 1e8, P0: 0.4},
+		Phi:    0.3, // Qeff = 0.5 - 0.3 = 0.2 < P0
+	}
+	if qe := f.EffectiveQuality(); math.Abs(qe-0.2) > 1e-12 {
+		t.Fatalf("Qeff = %g, want 0.2", qe)
+	}
+	prev := f.PopularityAt(0)
+	for ti := 1.0; ti <= 60; ti++ {
+		cur := f.PopularityAt(ti)
+		if cur >= prev {
+			t.Fatalf("popularity not decreasing at t=%g: %g >= %g", ti, cur, prev)
+		}
+		prev = cur
+	}
+	// Converges to Qeff, not Q.
+	if got := f.PopularityAt(1e6); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("P(inf) = %g, want Qeff=0.2", got)
+	}
+}
+
+// The forgetting closed form must match RK4 integration of its ODE.
+func TestForgettingClosedFormMatchesRK4(t *testing.T) {
+	cases := []ForgettingParams{
+		{Params: Params{Q: 0.5, N: 1e8, R: 1e8, P0: 0.4}, Phi: 0.3},
+		{Params: Params{Q: 0.8, N: 1e8, R: 1e8, P0: 1e-6}, Phi: 0.2},
+		{Params: Params{Q: 0.3, N: 1e8, R: 1e8, P0: 0.1}, Phi: 0.3}, // Qeff = 0
+	}
+	for _, f := range cases {
+		tr, err := RK4(f.ODE(), f.P0, 0, 80, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ti := range tr.T {
+			want := f.PopularityAt(ti)
+			if math.Abs(tr.P[i]-want) > 1e-7 {
+				t.Fatalf("phi=%g t=%g: RK4 %g vs closed %g", f.Phi, ti, tr.P[i], want)
+			}
+		}
+	}
+}
+
+// Under forgetting the raw estimator converges to Qeff and the corrected
+// estimator recovers the true Q.
+func TestForgettingEstimatorBias(t *testing.T) {
+	f := ForgettingParams{Params: Params{Q: 0.6, N: 1e8, R: 1e8, P0: 1e-6}, Phi: 0.2}
+	for _, ti := range []float64{5, 40, 90} {
+		raw := f.EstimateQ(ti)
+		if math.Abs(raw-f.EffectiveQuality()) > 1e-9 {
+			t.Fatalf("t=%g: raw estimate %g, want Qeff=%g", ti, raw, f.EffectiveQuality())
+		}
+		if corr := f.CorrectedEstimateQ(ti); math.Abs(corr-f.Q) > 1e-9 {
+			t.Fatalf("t=%g: corrected estimate %g, want Q=%g", ti, corr, f.Q)
+		}
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8", len(rows))
+	}
+	want := []string{"PR(p)", "Q(p)", "P(p,t)", "V(p,t)", "A(p,t)", "I(p,t)", "r", "n"}
+	for i, w := range want {
+		if rows[i].Name != w {
+			t.Errorf("row %d = %q, want %q", i, rows[i].Name, w)
+		}
+		if rows[i].Meaning == "" {
+			t.Errorf("row %d has empty meaning", i)
+		}
+	}
+}
+
+func BenchmarkPopularityAt(b *testing.B) {
+	p := figure1Params()
+	for i := 0; i < b.N; i++ {
+		_ = p.PopularityAt(float64(i % 100))
+	}
+}
+
+func BenchmarkRK4(b *testing.B) {
+	p := figure1Params()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.IntegrateNumerically(40, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

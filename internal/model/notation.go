@@ -1,0 +1,22 @@
+package model
+
+// Symbol is one row of the paper's Table 1 (notation summary).
+type Symbol struct {
+	Name    string
+	Meaning string
+}
+
+// Table1 returns the paper's notation table; cmd/experiments regenerates
+// the table from this slice so documentation and code cannot drift apart.
+func Table1() []Symbol {
+	return []Symbol{
+		{"PR(p)", "PageRank of page p (Section 3)"},
+		{"Q(p)", "Quality of p (Definition 1)"},
+		{"P(p,t)", "(Simple) popularity of p at t (Definition 2)"},
+		{"V(p,t)", "Visit popularity of p at t (Definition 3)"},
+		{"A(p,t)", "User awareness of p at t (Definition 4)"},
+		{"I(p,t)", "Relative popularity increase: I(p,t) = (n/r) (dP(p,t)/dt)/P(p,t)"},
+		{"r", "normalization constant: V(p,t) = r P(p,t)"},
+		{"n", "Total number of Web users"},
+	}
+}

@@ -1,0 +1,53 @@
+package model
+
+import "fmt"
+
+// RK4 integrates the scalar ODE y' = f(t, y) from (t0, y0) to t1 using the
+// classical fourth-order Runge–Kutta method with the given number of fixed
+// steps, returning the trajectory sampled at every step boundary.
+//
+// The model package uses it to verify the closed-form Theorem 1 solution
+// against a direct integration of the Verhulst equation (Equation 4 of the
+// paper's proofs) and to solve the forgetting extension, whose closed form
+// the tests cross-check the same way.
+func RK4(f func(t, y float64) float64, y0, t0, t1 float64, steps int) (Trajectory, error) {
+	if steps < 1 {
+		return Trajectory{}, fmt.Errorf("%w: steps=%d", ErrBadParams, steps)
+	}
+	if t1 <= t0 {
+		return Trajectory{}, fmt.Errorf("%w: t1=%g <= t0=%g", ErrBadParams, t1, t0)
+	}
+	h := (t1 - t0) / float64(steps)
+	tr := Trajectory{
+		T: make([]float64, steps+1),
+		P: make([]float64, steps+1),
+	}
+	t, y := t0, y0
+	tr.T[0], tr.P[0] = t, y
+	for i := 1; i <= steps; i++ {
+		k1 := f(t, y)
+		k2 := f(t+h/2, y+h/2*k1)
+		k3 := f(t+h/2, y+h/2*k2)
+		k4 := f(t+h, y+h*k3)
+		y += h / 6 * (k1 + 2*k2 + 2*k3 + k4)
+		t = t0 + float64(i)*h
+		tr.T[i], tr.P[i] = t, y
+	}
+	return tr, nil
+}
+
+// Verhulst returns the right-hand side of the paper's popularity ODE,
+// dP/dt = (r/n) · P · (Q - P), for direct numerical integration.
+func (p Params) Verhulst() func(t, y float64) float64 {
+	k := p.R / p.N
+	return func(_, y float64) float64 { return k * y * (p.Q - y) }
+}
+
+// IntegrateNumerically solves the popularity ODE with RK4 instead of the
+// closed form — the tests use it as an independent oracle for Theorem 1.
+func (p Params) IntegrateNumerically(tMax float64, steps int) (Trajectory, error) {
+	if err := p.Validate(); err != nil {
+		return Trajectory{}, err
+	}
+	return RK4(p.Verhulst(), p.P0, 0, tMax, steps)
+}

@@ -1,0 +1,99 @@
+package model
+
+import "fmt"
+
+// Stage labels the three phases of a page's life identified in Figure 1.
+type Stage uint8
+
+// Life stages of a page.
+const (
+	// StageInfant: the page is barely noticed; popularity below
+	// LoFrac·Q.
+	StageInfant Stage = iota
+	// StageExpansion: popularity is rising rapidly between the two
+	// thresholds.
+	StageExpansion
+	// StageMaturity: popularity has saturated above HiFrac·Q.
+	StageMaturity
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageInfant:
+		return "infant"
+	case StageExpansion:
+		return "expansion"
+	case StageMaturity:
+		return "maturity"
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// StageThresholds configures the popularity fractions separating the
+// stages. The zero value selects the defaults (5% and 95% of Q).
+type StageThresholds struct {
+	LoFrac float64 // infant → expansion boundary as a fraction of Q
+	HiFrac float64 // expansion → maturity boundary as a fraction of Q
+}
+
+func (st *StageThresholds) fill() error {
+	if st.LoFrac == 0 {
+		st.LoFrac = 0.05
+	}
+	if st.HiFrac == 0 {
+		st.HiFrac = 0.95
+	}
+	if !(st.LoFrac > 0 && st.LoFrac < st.HiFrac && st.HiFrac < 1) {
+		return fmt.Errorf("%w: thresholds lo=%g hi=%g", ErrBadParams, st.LoFrac, st.HiFrac)
+	}
+	return nil
+}
+
+// StageBoundaries are the transition times of the three stages.
+type StageBoundaries struct {
+	// ExpansionStart is when P first reaches LoFrac·Q (end of infancy).
+	ExpansionStart float64
+	// MaturityStart is when P first reaches HiFrac·Q.
+	MaturityStart float64
+}
+
+// StageAt classifies the page's stage at time t.
+func (p Params) StageAt(t float64, th StageThresholds) (Stage, error) {
+	if err := th.fill(); err != nil {
+		return 0, err
+	}
+	pt := p.PopularityAt(t)
+	switch {
+	case pt < th.LoFrac*p.Q:
+		return StageInfant, nil
+	case pt < th.HiFrac*p.Q:
+		return StageExpansion, nil
+	default:
+		return StageMaturity, nil
+	}
+}
+
+// Stages computes the transition times analytically by inverting
+// Theorem 1. Pages born already popular (P0 above a threshold) report a
+// zero boundary for the stages they skip.
+func (p Params) Stages(th StageThresholds) (StageBoundaries, error) {
+	if err := p.Validate(); err != nil {
+		return StageBoundaries{}, err
+	}
+	if err := th.fill(); err != nil {
+		return StageBoundaries{}, err
+	}
+	var b StageBoundaries
+	lo, hi := th.LoFrac*p.Q, th.HiFrac*p.Q
+	t, err := p.TimeToReach(lo)
+	if err != nil {
+		return b, err
+	}
+	b.ExpansionStart = t
+	t, err = p.TimeToReach(hi)
+	if err != nil {
+		return b, err
+	}
+	b.MaturityStart = t
+	return b, nil
+}

@@ -1,0 +1,29 @@
+package pagerank_test
+
+import (
+	"fmt"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/pagerank"
+)
+
+// A tiny hub-and-spokes Web: every spoke links to the hub, the hub links
+// back to one spoke. The hub collects most of the rank mass.
+func ExampleCompute() {
+	g := graph.New(4)
+	g.AddNodes(4)
+	for spoke := graph.NodeID(1); spoke < 4; spoke++ {
+		g.AddLink(spoke, 0)
+	}
+	g.AddLink(0, 1)
+	res, err := pagerank.Compute(graph.Freeze(g), pagerank.Options{
+		Variant: pagerank.VariantStandard,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hub %.3f  favoured-spoke %.3f  other-spokes %.3f\n",
+		res.Rank[0], res.Rank[1], res.Rank[2])
+	// Output:
+	// hub 0.480  favoured-spoke 0.445  other-spokes 0.038
+}

@@ -1,0 +1,39 @@
+package pagerank
+
+import "pagequality/internal/graph"
+
+// InDegree returns the raw in-link count per node as a float vector. The
+// paper notes (footnote 4) that the link count can substitute for PageRank
+// as the popularity measure in the quality estimator; this is that
+// baseline.
+func InDegree(c *graph.CSR) []float64 {
+	v := make([]float64, c.NumNodes())
+	for i := range v {
+		v[i] = float64(c.InDegree(graph.NodeID(i)))
+	}
+	return v
+}
+
+// NormalizedInDegree returns in-degree scaled to sum to 1 (a probability
+// vector comparable with VariantStandard PageRank). A graph with no edges
+// yields the uniform distribution.
+func NormalizedInDegree(c *graph.CSR) []float64 {
+	v := InDegree(c)
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		if len(v) > 0 {
+			u := 1 / float64(len(v))
+			for i := range v {
+				v[i] = u
+			}
+		}
+		return v
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return v
+}

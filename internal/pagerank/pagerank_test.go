@@ -1,0 +1,524 @@
+package pagerank
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pagequality/internal/graph"
+)
+
+func cycle(n int) *graph.CSR {
+	g := graph.New(n)
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		g.AddLink(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return graph.Freeze(g)
+}
+
+// denseReference computes standard PageRank by explicit dense matrix power
+// iteration with the DanglingUniform policy; it is the oracle for the
+// optimised implementation.
+func denseReference(c *graph.CSR, jump float64, iters int) []float64 {
+	n := c.NumNodes()
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		dmass := 0.0
+		for i := 0; i < n; i++ {
+			if c.OutDegree(graph.NodeID(i)) == 0 {
+				dmass += cur[i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			sum := dmass / float64(n)
+			for _, j := range c.In(graph.NodeID(i)) {
+				sum += cur[j] / float64(c.OutDegree(j))
+			}
+			next[i] = jump/float64(n) + (1-jump)*sum
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if x := math.Abs(a[i] - b[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestCycleIsUniform(t *testing.T) {
+	c := cycle(10)
+	res, err := Compute(c, Options{Variant: VariantStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: delta=%g after %d iters", res.Delta, res.Iterations)
+	}
+	for i, v := range res.Rank {
+		if math.Abs(v-0.1) > 1e-8 {
+			t.Fatalf("rank[%d] = %g, want 0.1", i, v)
+		}
+	}
+}
+
+func TestPaperVariantScale(t *testing.T) {
+	c := cycle(10)
+	res, err := Compute(c, Options{Variant: VariantPaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.Rank {
+		sum += v
+		if v < 0.15-1e-12 {
+			t.Fatalf("paper-variant rank %g below damping floor", v)
+		}
+	}
+	if math.Abs(sum-10) > 1e-6 {
+		t.Fatalf("paper-variant sum = %g, want 10", sum)
+	}
+	// On a symmetric cycle every page has PR exactly 1.
+	for i, v := range res.Rank {
+		if math.Abs(v-1) > 1e-8 {
+			t.Fatalf("rank[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestStandardSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g, err := graph.GeneratePreferentialAttachment(graph.PreferentialAttachmentConfig{Nodes: 500, OutPerNode: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.Freeze(g)
+	for _, dang := range []Dangling{DanglingUniform, DanglingSelf, DanglingTeleport} {
+		res, err := Compute(c, Options{Variant: VariantStandard, Dangling: dang})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range res.Rank {
+			sum += v
+			if v < 0 {
+				t.Fatalf("negative rank under policy %d", dang)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("policy %d: sum = %g, want 1", dang, sum)
+		}
+	}
+}
+
+func TestMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g, err := graph.GenerateUniform(80, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.Freeze(g)
+	want := denseReference(c, 0.15, 300)
+	res, err := Compute(c, Options{Variant: VariantStandard, Tol: 1e-13, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.Rank, want); d > 1e-9 {
+		t.Fatalf("diff from dense reference = %g", d)
+	}
+}
+
+func TestHubGetsMoreRank(t *testing.T) {
+	// star: nodes 1..9 all link to 0; 0 links to 1.
+	g := graph.New(10)
+	g.AddNodes(10)
+	for i := 1; i < 10; i++ {
+		g.AddLink(graph.NodeID(i), 0)
+	}
+	g.AddLink(0, 1)
+	res, err := Compute(graph.Freeze(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		if res.Rank[0] <= res.Rank[i] {
+			t.Fatalf("hub rank %g not above leaf %d rank %g", res.Rank[0], i, res.Rank[i])
+		}
+	}
+	// Node 1 receives the hub's whole out-flow: must beat nodes 2..9.
+	for i := 2; i < 10; i++ {
+		if res.Rank[1] <= res.Rank[i] {
+			t.Fatalf("rank[1]=%g not above rank[%d]=%g", res.Rank[1], i, res.Rank[i])
+		}
+	}
+}
+
+func TestDanglingPoliciesDiffer(t *testing.T) {
+	// 0 -> 1, 1 dangling.
+	g := graph.New(2)
+	g.AddNodes(2)
+	g.AddLink(0, 1)
+	c := graph.Freeze(g)
+	self, err := Compute(c, Options{Variant: VariantStandard, Dangling: DanglingSelf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Compute(c, Options{Variant: VariantStandard, Dangling: DanglingUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under DanglingSelf node 1 hoards its mass, so it must score higher
+	// than under DanglingUniform.
+	if self.Rank[1] <= uni.Rank[1] {
+		t.Fatalf("self=%g uniform=%g: self policy should favour the dangling page",
+			self.Rank[1], uni.Rank[1])
+	}
+}
+
+func TestPersonalizedTeleport(t *testing.T) {
+	c := cycle(10)
+	tele := make([]float64, 10)
+	tele[3] = 1 // all jumps land on node 3
+	res, err := Compute(c, Options{Variant: VariantStandard, Teleport: tele})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Rank {
+		if i != 3 && v >= res.Rank[3] {
+			t.Fatalf("personalised rank[3]=%g not maximal (rank[%d]=%g)", res.Rank[3], i, v)
+		}
+	}
+}
+
+func TestTeleportValidation(t *testing.T) {
+	c := cycle(4)
+	if _, err := Compute(c, Options{Teleport: []float64{1, 1}}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("wrong-length teleport accepted")
+	}
+	if _, err := Compute(c, Options{Teleport: []float64{1, -1, 0, 0}}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("negative teleport accepted")
+	}
+	if _, err := Compute(c, Options{Teleport: []float64{0, 0, 0, 0}}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("zero teleport accepted")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	c := cycle(4)
+	for _, o := range []Options{
+		{Jump: -0.5},
+		{Jump: 1.5},
+		{Tol: -1},
+		{MaxIter: -3},
+	} {
+		if _, err := Compute(c, o); !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("options %+v accepted", o)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Compute(graph.Freeze(graph.New(0)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rank) != 0 || !res.Converged {
+		t.Fatalf("empty graph result = %+v", res)
+	}
+}
+
+func TestAllDanglingGraph(t *testing.T) {
+	g := graph.New(5)
+	g.AddNodes(5) // no edges at all
+	res, err := Compute(graph.Freeze(g), Options{Variant: VariantStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Rank {
+		if math.Abs(v-0.2) > 1e-9 {
+			t.Fatalf("rank[%d] = %g, want uniform 0.2", i, v)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := graph.GeneratePreferentialAttachment(graph.PreferentialAttachmentConfig{Nodes: 2000, OutPerNode: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.Freeze(g)
+	serial, err := Compute(c, Options{Workers: 1, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Compute(c, Options{Workers: 8, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(serial.Rank, parallel.Rank); d > 1e-12 {
+		t.Fatalf("parallel differs from serial by %g", d)
+	}
+	if serial.Iterations != parallel.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", serial.Iterations, parallel.Iterations)
+	}
+}
+
+func TestMoreWorkersThanNodes(t *testing.T) {
+	c := cycle(3)
+	res, err := Compute(c, Options{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge with workers > nodes")
+	}
+}
+
+func TestExtrapolationReachesSameFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g, err := graph.GeneratePreferentialAttachment(graph.PreferentialAttachmentConfig{Nodes: 1000, OutPerNode: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.Freeze(g)
+	plain, err := Compute(c, Options{Tol: 1e-12, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Compute(c, Options{Tol: 1e-12, MaxIter: 500, Extrapolate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Converged {
+		t.Fatal("extrapolated run did not converge")
+	}
+	if d := maxAbsDiff(plain.Rank, fast.Rank); d > 1e-8 {
+		t.Fatalf("extrapolated fixed point differs by %g", d)
+	}
+}
+
+func TestConvergenceReporting(t *testing.T) {
+	c := cycle(50)
+	res, err := Compute(c, Options{MaxIter: 2, Tol: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cycle from uniform start converges instantly, so pick an asymmetric
+	// graph for the non-convergence check.
+	g := graph.New(3)
+	g.AddNodes(3)
+	g.AddLink(0, 1)
+	g.AddLink(1, 2)
+	g.AddLink(2, 0)
+	g.AddLink(0, 2)
+	res, err = Compute(graph.Freeze(g), Options{MaxIter: 1, Tol: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("claimed convergence after 1 iteration at 1e-15 tol")
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+// Property: for random graphs, standard PageRank is a probability
+// distribution and every entry is at least the teleport floor.
+func TestQuickDistributionInvariant(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn%50) + 5
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.GenerateUniform(n, n*2, rng)
+		if err != nil {
+			return false
+		}
+		res, err := Compute(graph.Freeze(g), Options{Variant: VariantStandard})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		floor := 0.15 / float64(n)
+		for _, v := range res.Rank {
+			if v < floor-1e-12 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHITSAuthority(t *testing.T) {
+	// 0,1,2 all point to 3 and 4; 3 also points to 4.
+	g := graph.New(5)
+	g.AddNodes(5)
+	for i := 0; i < 3; i++ {
+		g.AddLink(graph.NodeID(i), 3)
+		g.AddLink(graph.NodeID(i), 4)
+	}
+	g.AddLink(3, 4)
+	res, err := HITS(graph.Freeze(g), HITSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("HITS did not converge")
+	}
+	// 4 has the most/best in-links: top authority.
+	for i := 0; i < 4; i++ {
+		if res.Authorities[4] <= res.Authorities[i] {
+			t.Fatalf("authority[4]=%g not maximal vs [%d]=%g", res.Authorities[4], i, res.Authorities[i])
+		}
+	}
+	// 0..2 are the hubs; node 4 (no out-links) must have zero hub score.
+	if res.Hubs[4] != 0 {
+		t.Fatalf("hub[4] = %g, want 0", res.Hubs[4])
+	}
+	for i := 0; i < 3; i++ {
+		if res.Hubs[i] <= res.Hubs[3] {
+			t.Fatalf("hub[%d]=%g not above hub[3]=%g", i, res.Hubs[i], res.Hubs[3])
+		}
+	}
+}
+
+func TestHITSEmptyAndValidation(t *testing.T) {
+	res, err := HITS(graph.Freeze(graph.New(0)), HITSOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("empty HITS = (%+v, %v)", res, err)
+	}
+	if _, err := HITS(cycle(3), HITSOptions{MaxIter: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatal("negative MaxIter accepted")
+	}
+}
+
+func TestInDegreeBaselines(t *testing.T) {
+	g := graph.New(3)
+	g.AddNodes(3)
+	g.AddLink(0, 2)
+	g.AddLink(1, 2)
+	c := graph.Freeze(g)
+	raw := InDegree(c)
+	if raw[2] != 2 || raw[0] != 0 {
+		t.Fatalf("InDegree = %v", raw)
+	}
+	norm := NormalizedInDegree(c)
+	if math.Abs(norm[2]-1) > 1e-12 {
+		t.Fatalf("NormalizedInDegree = %v", norm)
+	}
+	// Edgeless graph: uniform.
+	empty := graph.New(4)
+	empty.AddNodes(4)
+	norm = NormalizedInDegree(graph.Freeze(empty))
+	for _, v := range norm {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("edgeless NormalizedInDegree = %v", norm)
+		}
+	}
+}
+
+func BenchmarkPageRank10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := graph.GeneratePreferentialAttachment(graph.PreferentialAttachmentConfig{Nodes: 10000, OutPerNode: 6}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := graph.Freeze(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(c, Options{Tol: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankExtrapolated10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := graph.GeneratePreferentialAttachment(graph.PreferentialAttachmentConfig{Nodes: 10000, OutPerNode: 6}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := graph.Freeze(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(c, Options{Tol: 1e-8, Extrapolate: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHITS10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := graph.GeneratePreferentialAttachment(graph.PreferentialAttachmentConfig{Nodes: 10000, OutPerNode: 6}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := graph.Freeze(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HITS(c, HITSOptions{Tol: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDanglingTeleportWithPersonalization(t *testing.T) {
+	// 0 -> 1, both 1 and 2 dangling; all dangling mass and jumps go to 2.
+	g := graph.New(3)
+	g.AddNodes(3)
+	g.AddLink(0, 1)
+	tele := []float64{0, 0, 1}
+	res, err := Compute(graph.Freeze(g), Options{
+		Variant:  VariantStandard,
+		Dangling: DanglingTeleport,
+		Teleport: tele,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 absorbs jumps and dangling mass: it must dominate.
+	if res.Rank[2] <= res.Rank[0] || res.Rank[2] <= res.Rank[1] {
+		t.Fatalf("teleport sink not dominant: %v", res.Rank)
+	}
+	sum := res.Rank[0] + res.Rank[1] + res.Rank[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %g", sum)
+	}
+}
+
+func TestTeleportNormalizedInternally(t *testing.T) {
+	// A non-normalised teleport vector gives the same result as its
+	// normalised form.
+	c := cycle(6)
+	t1 := []float64{5, 0, 0, 0, 0, 5}
+	t2 := []float64{0.5, 0, 0, 0, 0, 0.5}
+	a, err := Compute(c, Options{Variant: VariantStandard, Teleport: t1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(c, Options{Variant: VariantStandard, Teleport: t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(a.Rank, b.Rank); d > 1e-12 {
+		t.Fatalf("scaling the teleport changed the result by %g", d)
+	}
+}

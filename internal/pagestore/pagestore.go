@@ -1,0 +1,537 @@
+// Package pagestore is the crawl document repository: a log-structured,
+// segmented, append-only store for fetched page bodies. The paper's
+// crawler kept 4.6–5 million documents per snapshot (§8.1); this store
+// provides the equivalent substrate at laptop scale, with the properties
+// a real crawl pipeline needs:
+//
+//   - append-only segment files with per-record CRC32, so a crash mid-write
+//     loses at most the torn tail record (recovered and truncated on open);
+//   - an in-memory key index rebuilt by scanning segments on open
+//     (latest version of a key wins, enabling re-crawls of the same URL);
+//   - flate compression of bodies;
+//   - compaction that rewrites only live records and drops superseded
+//     versions.
+//
+// Keys are arbitrary strings; the crawl pipeline uses
+// "<snapshotLabel>/<canonicalURL>" so one repository holds every crawl.
+package pagestore
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Meta is the per-document metadata stored alongside the body.
+type Meta struct {
+	// FetchedAt is the crawl time (simulation weeks or unix seconds —
+	// the store does not interpret it).
+	FetchedAt float64
+	// Status is the HTTP status the document was fetched with.
+	Status int
+}
+
+// Store is a page repository rooted at a directory. It is safe for
+// concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	active *os.File // current segment, opened for append
+	actID  int      // numeric id of the active segment
+	actLen int64    // current size of the active segment
+	maxSeg int64    // rotation threshold
+	index  map[string]location
+	closed bool
+}
+
+// location points at one record.
+type location struct {
+	seg    int
+	offset int64
+}
+
+// Options tunes Open.
+type Options struct {
+	// MaxSegmentBytes triggers rotation to a new segment file once the
+	// active one exceeds this size (default 64 MiB).
+	MaxSegmentBytes int64
+}
+
+// Errors returned by the store.
+var (
+	ErrClosed   = errors.New("pagestore: store closed")
+	ErrNotFound = errors.New("pagestore: key not found")
+	ErrCorrupt  = errors.New("pagestore: corrupt record")
+)
+
+const (
+	defaultMaxSeg = 64 << 20
+	maxKeyLen     = 1 << 16
+	maxBodyLen    = 64 << 20
+)
+
+// Open opens (or creates) a repository in dir, rebuilding the key index
+// by scanning every segment. A torn tail record in the newest segment is
+// truncated away; corruption anywhere else is reported as an error.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxSegmentBytes == 0 {
+		opts.MaxSegmentBytes = defaultMaxSeg
+	}
+	if opts.MaxSegmentBytes < 1024 {
+		return nil, fmt.Errorf("pagestore: MaxSegmentBytes %d too small", opts.MaxSegmentBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pagestore: mkdir: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		maxSeg: opts.MaxSegmentBytes,
+		index:  make(map[string]location),
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range segs {
+		lastSeg := i == len(segs)-1
+		if err := s.scanSegment(id, lastSeg); err != nil {
+			return nil, err
+		}
+	}
+	// Open (or create) the active segment: the last existing one, or #1.
+	s.actID = 1
+	if len(segs) > 0 {
+		s.actID = segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: open active segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.active = f
+	s.actLen = st.Size()
+	return s, nil
+}
+
+func (s *Store) segPath(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%06d.dat", id))
+}
+
+// listSegments returns the numeric ids of existing segments, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: readdir: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".dat") {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(name, "seg-%06d.dat", &id); err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Record layout (little-endian):
+//
+//	magic    byte 0xA7
+//	keyLen   uvarint
+//	key      bytes
+//	fetched  float64 bits
+//	status   uvarint
+//	bodyLen  uvarint          (compressed length)
+//	body     flate bytes
+//	crc32    uint32           (over everything after the magic)
+const recMagic = 0xA7
+
+// appendRecord encodes a record into buf.
+func appendRecord(buf []byte, key string, meta Meta, compressed []byte) []byte {
+	start := len(buf)
+	buf = append(buf, recMagic)
+	payloadStart := len(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(meta.FetchedAt))
+	buf = binary.AppendUvarint(buf, uint64(meta.Status))
+	buf = binary.AppendUvarint(buf, uint64(len(compressed)))
+	buf = append(buf, compressed...)
+	crc := crc32.ChecksumIEEE(buf[payloadStart:])
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	_ = start
+	return buf
+}
+
+// scanSegment replays one segment into the index. For the newest segment
+// (last == true) a torn tail record is truncated away instead of failing.
+func (s *Store) scanSegment(id int, last bool) error {
+	path := s.segPath(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("pagestore: read segment %d: %w", id, err)
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		recLen, key, err := verifyRecordAt(data, off)
+		if err != nil {
+			if last && errors.Is(err, io.ErrUnexpectedEOF) {
+				// crash recovery: drop the torn tail
+				if terr := os.Truncate(path, off); terr != nil {
+					return fmt.Errorf("pagestore: truncate torn tail: %w", terr)
+				}
+				return nil
+			}
+			return fmt.Errorf("pagestore: segment %d offset %d: %w", id, off, err)
+		}
+		s.index[key] = location{seg: id, offset: off}
+		off += recLen
+	}
+	return nil
+}
+
+// verifyRecordAt checks the record starting at data[off], returning its
+// total length and key. Structural damage inside the buffer is ErrCorrupt;
+// running past the end is io.ErrUnexpectedEOF (a torn write).
+func verifyRecordAt(data []byte, off int64) (int64, string, error) {
+	r := bytes.NewReader(data[off:])
+	if b, err := r.ReadByte(); err != nil {
+		return 0, "", io.ErrUnexpectedEOF
+	} else if b != recMagic {
+		return 0, "", fmt.Errorf("%w: magic 0x%02x", ErrCorrupt, b)
+	}
+	klen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	if klen > maxKeyLen {
+		return 0, "", fmt.Errorf("%w: key length %d", ErrCorrupt, klen)
+	}
+	kb := make([]byte, klen)
+	if _, err := io.ReadFull(r, kb); err != nil {
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	if _, err := r.Seek(8, io.SeekCurrent); err != nil {
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	if r.Len() < 8 {
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	if _, err := binary.ReadUvarint(r); err != nil { // status
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	blen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	if blen > maxBodyLen {
+		return 0, "", fmt.Errorf("%w: body length %d", ErrCorrupt, blen)
+	}
+	if int64(r.Len()) < int64(blen)+4 {
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	if _, err := r.Seek(int64(blen), io.SeekCurrent); err != nil {
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	consumedPayload := int64(len(data)) - off - int64(r.Len())
+	payload := data[off+1 : off+consumedPayload]
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return 0, "", io.ErrUnexpectedEOF
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return 0, "", fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	total := consumedPayload + 4
+	return total, string(kb), nil
+}
+
+// Put stores (or replaces) the body under key.
+func (s *Store) Put(key string, meta Meta, body []byte) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("pagestore: invalid key length %d", len(key))
+	}
+	var cbuf bytes.Buffer
+	fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("pagestore: flate: %w", err)
+	}
+	if _, err := fw.Write(body); err != nil {
+		return fmt.Errorf("pagestore: compress: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return fmt.Errorf("pagestore: compress close: %w", err)
+	}
+	rec := appendRecord(nil, key, meta, cbuf.Bytes())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.actLen > 0 && s.actLen+int64(len(rec)) > s.maxSeg {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	offset := s.actLen
+	if _, err := s.active.Write(rec); err != nil {
+		return fmt.Errorf("pagestore: append: %w", err)
+	}
+	s.actLen += int64(len(rec))
+	s.index[key] = location{seg: s.actID, offset: offset}
+	return nil
+}
+
+func (s *Store) rotateLocked() error {
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("pagestore: sync before rotate: %w", err)
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("pagestore: close before rotate: %w", err)
+	}
+	s.actID++
+	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: rotate: %w", err)
+	}
+	s.active = f
+	s.actLen = 0
+	return nil
+}
+
+// Get returns the latest body stored under key.
+func (s *Store) Get(key string) (Meta, []byte, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Meta{}, nil, ErrClosed
+	}
+	loc, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		return Meta{}, nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return s.readAt(loc)
+}
+
+func (s *Store) readAt(loc location) (Meta, []byte, error) {
+	data, err := os.ReadFile(s.segPath(loc.seg))
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("pagestore: read segment: %w", err)
+	}
+	if loc.offset >= int64(len(data)) {
+		return Meta{}, nil, fmt.Errorf("%w: offset beyond segment", ErrCorrupt)
+	}
+	if _, _, err := verifyRecordAt(data, loc.offset); err != nil {
+		return Meta{}, nil, err
+	}
+	r := bytes.NewReader(data[loc.offset:])
+	_, _ = r.ReadByte() // magic, already verified
+	_, meta, compressed, err := readRecord0(r)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	body, err := io.ReadAll(flate.NewReader(bytes.NewReader(compressed)))
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: decompress: %v", ErrCorrupt, err)
+	}
+	return meta, body, nil
+}
+
+// readRecord0 parses the record fields after the magic byte.
+func readRecord0(r *bytes.Reader) (string, Meta, []byte, error) {
+	var meta Meta
+	klen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", meta, nil, io.ErrUnexpectedEOF
+	}
+	kb := make([]byte, klen)
+	if _, err := io.ReadFull(r, kb); err != nil {
+		return "", meta, nil, io.ErrUnexpectedEOF
+	}
+	var fbuf [8]byte
+	if _, err := io.ReadFull(r, fbuf[:]); err != nil {
+		return "", meta, nil, io.ErrUnexpectedEOF
+	}
+	meta.FetchedAt = math.Float64frombits(binary.LittleEndian.Uint64(fbuf[:]))
+	status, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", meta, nil, io.ErrUnexpectedEOF
+	}
+	meta.Status = int(status)
+	blen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", meta, nil, io.ErrUnexpectedEOF
+	}
+	compressed := make([]byte, blen)
+	if _, err := io.ReadFull(r, compressed); err != nil {
+		return "", meta, nil, io.ErrUnexpectedEOF
+	}
+	return string(kb), meta, compressed, nil
+}
+
+// Has reports whether key is stored.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys returns the live keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// KeysWithPrefix returns the live keys with the given prefix, sorted. The
+// crawl pipeline uses it to enumerate one snapshot's documents.
+func (s *Store) KeysWithPrefix(prefix string) []string {
+	var out []string
+	for _, k := range s.Keys() {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.active.Sync()
+}
+
+// Close syncs and closes the store. Further operations fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.active.Sync(); err != nil {
+		s.active.Close()
+		return err
+	}
+	return s.active.Close()
+}
+
+// Compact rewrites every live record into fresh segments and removes the
+// old files, dropping superseded versions. The store stays usable
+// afterwards.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Snapshot live locations.
+	type kv struct {
+		key string
+		loc location
+	}
+	live := make([]kv, 0, len(s.index))
+	for k, loc := range s.index {
+		live = append(live, kv{k, loc})
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].key < live[b].key })
+
+	oldSegs, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	newID := s.actID + 1
+	if err := s.active.Sync(); err != nil {
+		return err
+	}
+	if err := s.active.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.segPath(newID), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: compact segment: %w", err)
+	}
+	newIndex := make(map[string]location, len(live))
+	var offset int64
+	// Cache segment contents while copying.
+	segData := map[int][]byte{}
+	for _, e := range live {
+		data, ok := segData[e.loc.seg]
+		if !ok {
+			data, err = os.ReadFile(s.segPath(e.loc.seg))
+			if err != nil {
+				f.Close()
+				return err
+			}
+			segData[e.loc.seg] = data
+		}
+		recLen, _, err := verifyRecordAt(data, e.loc.offset)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		rec := data[e.loc.offset : e.loc.offset+recLen]
+		if _, err := f.Write(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("pagestore: compact write: %w", err)
+		}
+		newIndex[e.key] = location{seg: newID, offset: offset}
+		offset += recLen
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	// Swap in the new state, delete the old segments.
+	s.active = f
+	s.actID = newID
+	s.actLen = offset
+	s.index = newIndex
+	for _, id := range oldSegs {
+		if id != newID {
+			if err := os.Remove(s.segPath(id)); err != nil {
+				return fmt.Errorf("pagestore: remove old segment: %w", err)
+			}
+		}
+	}
+	return nil
+}

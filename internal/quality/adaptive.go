@@ -1,0 +1,103 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EstimateWithAdaptiveWindow implements the §9.1 proposal directly:
+// "adjusting the Web download intervals depending on the current PageRank
+// values. For example, for low-PageRank pages, we may want to compute the
+// PageRank increase over a longer period than high-PageRank pages in
+// order to reduce the impact of noise."
+//
+// Pages at or below the splitQuantile of current popularity measure their
+// trend over the full window (first → last snapshot); pages above it use
+// only the most recent gap (second-to-last → last), which is less stale.
+// Both trends are normalised to the full window length so one constant C
+// applies to every page:
+//
+//	trend = [(PR(t_k) - PR(t_j)) / PR(t_j)] · (t_k - t_1)/(t_k - t_j)
+//
+// Classification, the stable filter and the fluctuation fallback follow
+// EstimateFromSeries.
+func EstimateWithAdaptiveWindow(ranks [][]float64, times []float64, cfg Config, splitQuantile float64) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(ranks) < 3 {
+		return nil, fmt.Errorf("%w: adaptive windows need >= 3 snapshots, got %d", ErrBadInput, len(ranks))
+	}
+	if len(times) != len(ranks) {
+		return nil, fmt.Errorf("%w: %d times for %d snapshots", ErrBadInput, len(times), len(ranks))
+	}
+	for k := 1; k < len(times); k++ {
+		if times[k] <= times[k-1] {
+			return nil, fmt.Errorf("%w: times not strictly increasing at %d", ErrBadInput, k)
+		}
+	}
+	if splitQuantile <= 0 || splitQuantile >= 1 {
+		return nil, fmt.Errorf("%w: splitQuantile=%g outside (0,1)", ErrBadInput, splitQuantile)
+	}
+	n := len(ranks[0])
+	for k, r := range ranks {
+		if len(r) != n {
+			return nil, fmt.Errorf("%w: snapshot %d has %d pages, want %d", ErrBadInput, k, len(r), n)
+		}
+	}
+	last := len(ranks) - 1
+	cur := ranks[last]
+
+	// Popularity threshold at the split quantile.
+	sorted := append([]float64(nil), cur...)
+	sort.Float64s(sorted)
+	threshold := sorted[int(splitQuantile*float64(n-1))]
+
+	res := &Result{
+		Q:       make([]float64, n),
+		Class:   make([]Class, n),
+		Changed: make([]bool, n),
+		Counts:  make(map[Class]int),
+	}
+	fullWindow := times[last] - times[0]
+	shortWindow := times[last] - times[last-1]
+	for i := 0; i < n; i++ {
+		first := ranks[0][i]
+		cls := classify(ranks, i, cfg.MinChangeFrac)
+		res.Class[i] = cls
+		res.Counts[cls]++
+		if first > 0 {
+			res.Changed[i] = math.Abs(cur[i]-first)/first > cfg.MinChangeFrac
+		}
+		if res.Changed[i] {
+			res.NumChanged++
+		}
+		applyTrend := cls == ClassIncreasing ||
+			(cls == ClassDecreasing && cfg.ApplyTrendToDecreasing)
+		if !applyTrend {
+			res.Q[i] = cur[i]
+			continue
+		}
+		// Window choice per §9.1.
+		base := first
+		scale := 1.0
+		if cur[i] > threshold {
+			base = ranks[last-1][i]
+			scale = fullWindow / shortWindow
+		}
+		if base <= 0 {
+			res.Q[i] = cur[i]
+			continue
+		}
+		trend := (cur[i] - base) / base * scale
+		if cfg.MaxTrend > 0 {
+			trend = math.Max(-cfg.MaxTrend, math.Min(cfg.MaxTrend, trend))
+		}
+		res.Q[i] = cfg.C*trend + cur[i]
+		if res.Q[i] < 0 {
+			res.Q[i] = 0
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package quality_test
+
+import (
+	"fmt"
+
+	"pagequality/internal/quality"
+)
+
+// Three crawls of a four-page Web: one page rising, one falling, one
+// noisy, one static. The estimator extrapolates the trends and falls
+// back to the current value where no trend is measurable.
+func ExampleEstimateFromSeries() {
+	ranks := [][]float64{
+		{0.50, 2.00, 1.00, 1.00}, // t1
+		{0.65, 1.70, 1.30, 1.01}, // t2
+		{0.80, 1.40, 1.10, 1.00}, // t3
+	}
+	res, err := quality.EstimateFromSeries(ranks, quality.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	names := []string{"riser", "faller", "noisy", "static"}
+	for i, n := range names {
+		fmt.Printf("%-7s %-11s PR=%.2f Q=%.3f\n", n, res.Class[i], ranks[2][i], res.Q[i])
+	}
+	// Output:
+	// riser   increasing  PR=0.80 Q=0.860
+	// faller  decreasing  PR=1.40 Q=1.370
+	// noisy   fluctuating PR=1.10 Q=1.100
+	// static  stable      PR=1.00 Q=1.000
+}

@@ -1,0 +1,83 @@
+package search
+
+import "testing"
+
+func TestBM25BasicRanking(t *testing.T) {
+	ix := corpus()
+	hits, err := ix.Search("quick", Options{Mode: ModeBM25, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 4 {
+		t.Fatalf("hits = %d, want 4", len(hits))
+	}
+	// Doc 4 repeats "quick" and is short: top BM25 score too.
+	if hits[0].Doc != 4 {
+		t.Fatalf("top hit = %d, want 4", hits[0].Doc)
+	}
+	for _, h := range hits {
+		if h.Relevance <= 0 {
+			t.Fatalf("non-positive BM25 score: %+v", h)
+		}
+	}
+}
+
+func TestBM25IDFWeighting(t *testing.T) {
+	ix := corpus()
+	// "databases" is rarer than "go": its only document wins.
+	hits, err := ix.Search("go databases", Options{Mode: ModeBM25, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].Doc != 3 {
+		t.Fatalf("top hit = %d, want 3", hits[0].Doc)
+	}
+}
+
+func TestBM25LengthNormalization(t *testing.T) {
+	ix := NewIndex()
+	short := ix.Add("needle haystack")
+	long := ix.Add("needle " + repeatWords("filler", 200))
+	hits, err := ix.Search("needle", Options{Mode: ModeBM25, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0].Doc != short {
+		t.Fatalf("short doc should outrank long: %v (short=%d long=%d)", hits, short, long)
+	}
+}
+
+func TestBM25UnknownTermAndEmptyIndex(t *testing.T) {
+	ix := corpus()
+	hits, err := ix.Search("zeppelin", Options{Mode: ModeBM25})
+	if err != nil || hits != nil {
+		t.Fatalf("unknown term -> (%v, %v)", hits, err)
+	}
+	empty := NewIndex()
+	if s := empty.bm25Scores([]string{"x"}); s != nil {
+		t.Fatalf("empty index scored: %v", s)
+	}
+}
+
+func TestBM25WithAuthority(t *testing.T) {
+	ix := corpus()
+	auth := []float64{0, 0, 9, 0, 0}
+	hits, err := ix.Search("quick", Options{Mode: ModeBM25, TopK: 5, Authority: auth, AuthorityWeight: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].Doc != 2 {
+		t.Fatalf("authority did not lift doc 2: %v", hits)
+	}
+}
+
+func repeatWords(w string, n int) string {
+	out := make([]byte, 0, (len(w)+1)*n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, w...)
+	}
+	return string(out)
+}

@@ -1,0 +1,34 @@
+package search_test
+
+import (
+	"fmt"
+
+	"pagequality/internal/search"
+)
+
+// A three-document index queried with and without an authority signal.
+// With AuthorityWeight 1 the relevant set is ordered purely by the
+// authority scores — the paper's two-stage ranking model.
+func ExampleIndex_Search() {
+	ix := search.NewIndex()
+	ix.AddAll([]string{
+		"quality ranking for the web",       // doc 0
+		"web pages and web crawlers",        // doc 1
+		"cooking recipes without any links", // doc 2
+	})
+	authority := []float64{0.3, 0.9, 0.5}
+	hits, err := ix.Search("web", search.Options{
+		TopK:            3,
+		Authority:       authority,
+		AuthorityWeight: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range hits {
+		fmt.Printf("doc %d (authority %.1f)\n", h.Doc, authority[h.Doc])
+	}
+	// Output:
+	// doc 1 (authority 0.9)
+	// doc 0 (authority 0.3)
+}

@@ -1,0 +1,304 @@
+// Package search implements the search-engine substrate the paper's
+// motivation rests on: an inverted index with boolean and tf-idf
+// vector-space retrieval (the "first-generation" ranking the paper
+// discusses), combined with a link-based authority score — PageRank or the
+// quality estimate — to produce the final ranking. Section 4's
+// relevance-versus-quality argument maps directly onto this two-stage
+// design: the query selects the relevant set, the authority vector orders
+// it.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// ErrBadQuery reports an unusable query or configuration.
+var ErrBadQuery = errors.New("search: bad query")
+
+// Tokenize lowercases the text and splits it into maximal alphanumeric
+// runs. It is the single tokenizer used for both documents and queries so
+// the two can never disagree.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// posting records one document containing a term.
+type posting struct {
+	doc int32
+	tf  int32
+}
+
+// Index is an in-memory inverted index. Documents are added once and
+// identified by the dense int id returned from Add; the caller typically
+// uses graph.NodeID values as document ids by adding documents in node
+// order.
+type Index struct {
+	postings map[string][]posting
+	docLen   []int     // tokens per document
+	norm     []float64 // tf-idf L2 norm per document (computed lazily)
+	dirty    bool
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{postings: make(map[string][]posting)}
+}
+
+// Add indexes one document and returns its id (sequential from 0).
+func (ix *Index) Add(text string) int {
+	id := len(ix.docLen)
+	terms := Tokenize(text)
+	counts := make(map[string]int, len(terms))
+	for _, t := range terms {
+		counts[t]++
+	}
+	for t, c := range counts {
+		ix.postings[t] = append(ix.postings[t], posting{doc: int32(id), tf: int32(c)})
+	}
+	ix.docLen = append(ix.docLen, len(terms))
+	ix.dirty = true
+	return id
+}
+
+// AddAll indexes the documents in order; document ids equal slice indices.
+func (ix *Index) AddAll(texts []string) {
+	for _, t := range texts {
+		ix.Add(t)
+	}
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return len(ix.docLen) }
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.postings) }
+
+// DocFreq returns the number of documents containing the term.
+func (ix *Index) DocFreq(term string) int {
+	return len(ix.postings[strings.ToLower(term)])
+}
+
+// idf is the smoothed inverse document frequency.
+func (ix *Index) idf(term string) float64 {
+	df := len(ix.postings[term])
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(len(ix.docLen))/float64(df))
+}
+
+// ensureNorms computes per-document tf-idf L2 norms for cosine scoring.
+func (ix *Index) ensureNorms() {
+	if !ix.dirty && ix.norm != nil {
+		return
+	}
+	ix.norm = make([]float64, len(ix.docLen))
+	for term, plist := range ix.postings {
+		w := ix.idf(term)
+		for _, p := range plist {
+			x := float64(p.tf) * w
+			ix.norm[p.doc] += x * x
+		}
+	}
+	for i := range ix.norm {
+		ix.norm[i] = math.Sqrt(ix.norm[i])
+	}
+	ix.dirty = false
+}
+
+// Mode selects the retrieval model.
+type Mode uint8
+
+const (
+	// ModeVector ranks by tf-idf cosine similarity (Salton's vector-space
+	// model [21]).
+	ModeVector Mode = iota
+	// ModeBooleanAnd retrieves documents containing every query term [27].
+	ModeBooleanAnd
+	// ModeBooleanOr retrieves documents containing any query term.
+	ModeBooleanOr
+	// ModeBM25 ranks by Okapi BM25, the practical form of the
+	// probabilistic retrieval model the paper's related work cites
+	// [7, 20].
+	ModeBM25
+)
+
+// Hit is one search result.
+type Hit struct {
+	// Doc is the document id.
+	Doc int
+	// Score is the final ranking score (higher is better).
+	Score float64
+	// Relevance is the content-only score before authority blending.
+	Relevance float64
+}
+
+// Options configures Search.
+type Options struct {
+	// Mode selects boolean or vector retrieval (default ModeVector).
+	Mode Mode
+	// TopK bounds the number of results (default 10).
+	TopK int
+	// Authority, when non-nil, re-ranks the relevant set by blending the
+	// normalised relevance with the normalised authority score:
+	//     score = (1-w)·rel + w·auth
+	// This is where PageRank or the quality estimate plugs in. It must
+	// have one entry per document.
+	Authority []float64
+	// AuthorityWeight is w above, in [0,1] (default 0.5 when Authority is
+	// set). Weight 1 reproduces the paper's framing exactly: relevance
+	// only selects the set, authority alone orders it.
+	AuthorityWeight float64
+}
+
+func (o *Options) fill(numDocs int) error {
+	if o.TopK == 0 {
+		o.TopK = 10
+	}
+	if o.TopK < 1 {
+		return fmt.Errorf("%w: TopK=%d", ErrBadQuery, o.TopK)
+	}
+	if o.Authority != nil {
+		if len(o.Authority) != numDocs {
+			return fmt.Errorf("%w: authority length %d != docs %d", ErrBadQuery, len(o.Authority), numDocs)
+		}
+		if o.AuthorityWeight == 0 {
+			o.AuthorityWeight = 0.5
+		}
+		if o.AuthorityWeight < 0 || o.AuthorityWeight > 1 {
+			return fmt.Errorf("%w: AuthorityWeight=%g", ErrBadQuery, o.AuthorityWeight)
+		}
+	}
+	return nil
+}
+
+// Search retrieves and ranks documents for the query.
+func (ix *Index) Search(query string, opts Options) ([]Hit, error) {
+	if err := opts.fill(ix.NumDocs()); err != nil {
+		return nil, err
+	}
+	terms := Tokenize(query)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+	}
+	var rel map[int32]float64
+	switch opts.Mode {
+	case ModeVector:
+		rel = ix.vectorScores(terms)
+	case ModeBooleanAnd:
+		rel = ix.booleanScores(terms, true)
+	case ModeBooleanOr:
+		rel = ix.booleanScores(terms, false)
+	case ModeBM25:
+		rel = ix.bm25Scores(terms)
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrBadQuery, opts.Mode)
+	}
+	if len(rel) == 0 {
+		return nil, nil
+	}
+	hits := make([]Hit, 0, len(rel))
+	maxRel := 0.0
+	for _, s := range rel {
+		if s > maxRel {
+			maxRel = s
+		}
+	}
+	var maxAuth float64
+	if opts.Authority != nil {
+		for d := range rel {
+			if a := opts.Authority[d]; a > maxAuth {
+				maxAuth = a
+			}
+		}
+	}
+	for d, s := range rel {
+		h := Hit{Doc: int(d), Relevance: s}
+		relNorm := 0.0
+		if maxRel > 0 {
+			relNorm = s / maxRel
+		}
+		if opts.Authority != nil {
+			authNorm := 0.0
+			if maxAuth > 0 {
+				authNorm = opts.Authority[d] / maxAuth
+			}
+			h.Score = (1-opts.AuthorityWeight)*relNorm + opts.AuthorityWeight*authNorm
+		} else {
+			h.Score = relNorm
+		}
+		hits = append(hits, h)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if len(hits) > opts.TopK {
+		hits = hits[:opts.TopK]
+	}
+	return hits, nil
+}
+
+// vectorScores computes cosine(query, doc) over tf-idf weights.
+func (ix *Index) vectorScores(terms []string) map[int32]float64 {
+	ix.ensureNorms()
+	qCounts := make(map[string]int, len(terms))
+	for _, t := range terms {
+		qCounts[t]++
+	}
+	scores := make(map[int32]float64)
+	qNorm := 0.0
+	for t, qc := range qCounts {
+		w := ix.idf(t)
+		if w == 0 {
+			continue
+		}
+		qw := float64(qc) * w
+		qNorm += qw * qw
+		for _, p := range ix.postings[t] {
+			scores[p.doc] += qw * float64(p.tf) * w
+		}
+	}
+	if qNorm == 0 {
+		return nil
+	}
+	qn := math.Sqrt(qNorm)
+	for d := range scores {
+		if ix.norm[d] > 0 {
+			scores[d] /= qn * ix.norm[d]
+		}
+	}
+	return scores
+}
+
+// booleanScores retrieves by term containment; the score is the count of
+// matched terms (so OR-mode still ranks fuller matches first).
+func (ix *Index) booleanScores(terms []string, requireAll bool) map[int32]float64 {
+	uniq := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		uniq[t] = true
+	}
+	counts := make(map[int32]int)
+	for t := range uniq {
+		for _, p := range ix.postings[t] {
+			counts[p.doc]++
+		}
+	}
+	scores := make(map[int32]float64, len(counts))
+	for d, c := range counts {
+		if requireAll && c < len(uniq) {
+			continue
+		}
+		scores[d] = float64(c)
+	}
+	return scores
+}

@@ -1,0 +1,122 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/pagerank"
+)
+
+// Aligned is a series of snapshots restricted to the pages present in
+// every snapshot, with one consistent NodeID space: node i refers to
+// URLs[i] in every Graphs[k]. This mirrors §8.1 of the paper, where the
+// 2.7 M pages common to all four crawls form the analysis subgraph.
+type Aligned struct {
+	// URLs[i] is the address of node i in every aligned graph.
+	URLs []string
+	// Times[k] is the crawl time of snapshot k.
+	Times []float64
+	// Labels[k] names snapshot k.
+	Labels []string
+	// Graphs[k] is snapshot k's subgraph induced by the common pages.
+	Graphs []*graph.Graph
+}
+
+// ErrAlign reports snapshots that cannot be aligned.
+var ErrAlign = errors.New("snapshot: cannot align")
+
+// Align intersects the snapshots on page URL. Pages with empty URLs are
+// ignored (they cannot be matched across crawls). Snapshots must be in
+// non-decreasing time order.
+func Align(snaps []Snapshot) (*Aligned, error) {
+	if len(snaps) < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 snapshots, got %d", ErrAlign, len(snaps))
+	}
+	for k := 1; k < len(snaps); k++ {
+		if snaps[k].Time < snaps[k-1].Time {
+			return nil, fmt.Errorf("%w: snapshots out of time order (%g after %g)",
+				ErrAlign, snaps[k].Time, snaps[k-1].Time)
+		}
+	}
+	// Count URL occurrences across snapshots.
+	first := snaps[0].Graph
+	common := make([]string, 0, first.NumNodes())
+	for i := 0; i < first.NumNodes(); i++ {
+		url := first.Page(graph.NodeID(i)).URL
+		if url == "" {
+			continue
+		}
+		inAll := true
+		for k := 1; k < len(snaps); k++ {
+			if _, ok := snaps[k].Graph.Lookup(url); !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			common = append(common, url)
+		}
+	}
+	if len(common) == 0 {
+		return nil, fmt.Errorf("%w: no common pages", ErrAlign)
+	}
+	sort.Strings(common) // deterministic node numbering
+	al := &Aligned{
+		URLs:   common,
+		Times:  make([]float64, len(snaps)),
+		Labels: make([]string, len(snaps)),
+		Graphs: make([]*graph.Graph, len(snaps)),
+	}
+	for k, s := range snaps {
+		al.Times[k] = s.Time
+		al.Labels[k] = s.Label
+		keep := make([]graph.NodeID, len(common))
+		for i, url := range common {
+			id, ok := s.Graph.Lookup(url)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q vanished during alignment", ErrAlign, url)
+			}
+			keep[i] = id
+		}
+		sub, _ := s.Graph.Subgraph(keep)
+		al.Graphs[k] = sub
+	}
+	return al, nil
+}
+
+// NumPages returns the number of common pages.
+func (a *Aligned) NumPages() int { return len(a.URLs) }
+
+// NumSnapshots returns the number of snapshots in the series.
+func (a *Aligned) NumSnapshots() int { return len(a.Graphs) }
+
+// PageRankSeries computes the PageRank of every common page in every
+// snapshot with the given options, returning ranks[k][i] = PR of page i at
+// snapshot k.
+func (a *Aligned) PageRankSeries(opts pagerank.Options) ([][]float64, error) {
+	ranks := make([][]float64, len(a.Graphs))
+	for k, g := range a.Graphs {
+		res, err := pagerank.Compute(graph.Freeze(g), opts)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", a.Labels[k], err)
+		}
+		if !res.Converged {
+			return nil, fmt.Errorf("snapshot %s: PageRank did not converge (delta %g after %d iters)",
+				a.Labels[k], res.Delta, res.Iterations)
+		}
+		ranks[k] = res.Rank
+	}
+	return ranks, nil
+}
+
+// InDegreeSeries returns the in-degree of every common page in every
+// snapshot — the footnote-4 alternative popularity measure.
+func (a *Aligned) InDegreeSeries() [][]float64 {
+	out := make([][]float64, len(a.Graphs))
+	for k, g := range a.Graphs {
+		out[k] = pagerank.InDegree(graph.Freeze(g))
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/pagerank"
+)
+
+// chain builds a tiny site graph with URLs u0..u(n-1) and links i -> i+1.
+func chain(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddPage(graph.Page{URL: fmt.Sprintf("http://s/%02d", i), Site: 0})
+	}
+	for i := 0; i < n-1; i++ {
+		g.AddLink(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return g
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	snaps := []Snapshot{
+		{Label: "t1", Time: 0, Graph: chain(5)},
+		{Label: "t2", Time: 4, Graph: chain(6)},
+		{Label: "t3", Time: 8.5, Graph: chain(7)},
+	}
+	data, err := Encode(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d snapshots", len(got))
+	}
+	for i := range snaps {
+		if got[i].Label != snaps[i].Label || got[i].Time != snaps[i].Time {
+			t.Fatalf("snapshot %d metadata changed: %+v", i, got[i])
+		}
+		if got[i].Graph.NumNodes() != snaps[i].Graph.NumNodes() ||
+			got[i].Graph.NumEdges() != snaps[i].Graph.NumEdges() {
+			t.Fatalf("snapshot %d graph changed", i)
+		}
+	}
+}
+
+func TestEncodeNilGraph(t *testing.T) {
+	if _, err := Encode([]Snapshot{{Label: "x"}}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	data, err := Encode([]Snapshot{{Label: "t1", Time: 1, Graph: chain(4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { b[0] = 'X'; return b },          // magic
+		func(b []byte) []byte { b[10] ^= 0x55; return b },       // body
+		func(b []byte) []byte { return b[:8] },                  // truncated
+		func(b []byte) []byte { return append(b, 0) },           // trailing garbage breaks crc position
+		func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, // crc
+	} {
+		buf := append([]byte(nil), data...)
+		if _, err := Decode(mutate(buf)); err == nil {
+			t.Fatal("corruption not detected")
+		}
+	}
+}
+
+func TestWriteReadFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "web.pqs")
+	snaps := []Snapshot{
+		{Label: "t1", Time: 0, Graph: chain(4)},
+		{Label: "t2", Time: 4, Graph: chain(4)},
+	}
+	if err := WriteFile(path, snaps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Label != "t2" {
+		t.Fatalf("read back %d snapshots", len(got))
+	}
+	// Overwrite must succeed and leave no temp files behind.
+	if err := WriteFile(path, snaps[:1]); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after rewrite, want 1", len(entries))
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("rewrite not visible: %d snapshots", len(got))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.pqs")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// alignFixture builds three snapshots where pages a,b,c exist everywhere,
+// page d only in later snapshots, and page e only in the first.
+func alignFixture() []Snapshot {
+	mk := func(urls []string, links [][2]int) *graph.Graph {
+		g := graph.New(len(urls))
+		for _, u := range urls {
+			g.MustAddPage(graph.Page{URL: u})
+		}
+		for _, l := range links {
+			g.AddLink(graph.NodeID(l[0]), graph.NodeID(l[1]))
+		}
+		return g
+	}
+	s1 := mk([]string{"a", "b", "c", "e"}, [][2]int{{0, 1}, {3, 0}})
+	s2 := mk([]string{"b", "a", "c", "d"}, [][2]int{{1, 0}, {0, 2}, {3, 2}}) // a->b, b->c
+	s3 := mk([]string{"c", "d", "a", "b"}, [][2]int{{2, 3}, {3, 0}, {1, 0}}) // a->b, b->c
+	return []Snapshot{
+		{Label: "t1", Time: 0, Graph: s1},
+		{Label: "t2", Time: 4, Graph: s2},
+		{Label: "t3", Time: 8, Graph: s3},
+	}
+}
+
+func TestAlign(t *testing.T) {
+	al, err := Align(alignFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.NumPages() != 3 {
+		t.Fatalf("common pages = %d (%v), want 3", al.NumPages(), al.URLs)
+	}
+	if al.URLs[0] != "a" || al.URLs[1] != "b" || al.URLs[2] != "c" {
+		t.Fatalf("URLs = %v, want sorted [a b c]", al.URLs)
+	}
+	if al.NumSnapshots() != 3 {
+		t.Fatalf("snapshots = %d", al.NumSnapshots())
+	}
+	// Node ids are consistent: node 0 is "a" in every graph.
+	for k, g := range al.Graphs {
+		if g.NumNodes() != 3 {
+			t.Fatalf("graph %d has %d nodes", k, g.NumNodes())
+		}
+		if g.Page(0).URL != "a" || g.Page(1).URL != "b" || g.Page(2).URL != "c" {
+			t.Fatalf("graph %d node numbering inconsistent", k)
+		}
+	}
+	// s1 has a->b (e->a dropped with e); s2 and s3 have a->b and b->c.
+	if al.Graphs[0].NumEdges() != 1 || !al.Graphs[0].HasLink(0, 1) {
+		t.Fatalf("aligned t1 edges wrong")
+	}
+	for k := 1; k < 3; k++ {
+		if !al.Graphs[k].HasLink(0, 1) || !al.Graphs[k].HasLink(1, 2) {
+			t.Fatalf("aligned t%d edges wrong", k+1)
+		}
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	fix := alignFixture()
+	if _, err := Align(fix[:1]); !errors.Is(err, ErrAlign) {
+		t.Fatal("single snapshot accepted")
+	}
+	// Time order violated.
+	bad := []Snapshot{fix[1], fix[0]}
+	if _, err := Align(bad); !errors.Is(err, ErrAlign) {
+		t.Fatal("out-of-order snapshots accepted")
+	}
+	// Disjoint snapshots.
+	g1 := graph.New(1)
+	g1.MustAddPage(graph.Page{URL: "only1"})
+	g2 := graph.New(1)
+	g2.MustAddPage(graph.Page{URL: "only2"})
+	if _, err := Align([]Snapshot{{Graph: g1}, {Graph: g2, Time: 1}}); !errors.Is(err, ErrAlign) {
+		t.Fatal("disjoint snapshots accepted")
+	}
+}
+
+func TestPageRankSeries(t *testing.T) {
+	al, err := Align(alignFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := al.PageRankSeries(pagerank.Options{Variant: pagerank.VariantPaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 3 || len(ranks[0]) != 3 {
+		t.Fatalf("ranks shape %dx%d", len(ranks), len(ranks[0]))
+	}
+	// Page c gains an in-link from t1 to t2: its PageRank must increase.
+	if ranks[1][2] <= ranks[0][2] {
+		t.Fatalf("PR(c) did not increase: %g -> %g", ranks[0][2], ranks[1][2])
+	}
+	// Paper variant: every snapshot's ranks sum to the page count.
+	for k := range ranks {
+		sum := 0.0
+		for _, v := range ranks[k] {
+			sum += v
+		}
+		if math.Abs(sum-3) > 1e-6 {
+			t.Fatalf("snapshot %d rank sum = %g", k, sum)
+		}
+	}
+}
+
+func TestInDegreeSeries(t *testing.T) {
+	al, err := Align(alignFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind := al.InDegreeSeries()
+	if ind[0][1] != 1 || ind[0][2] != 0 {
+		t.Fatalf("t1 in-degrees = %v", ind[0])
+	}
+	if ind[1][2] != 1 {
+		t.Fatalf("t2 in-degrees = %v", ind[1])
+	}
+}
+
+func TestLargeStoreRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large store round trip")
+	}
+	snaps := make([]Snapshot, 4)
+	for k := range snaps {
+		snaps[k] = Snapshot{Label: fmt.Sprintf("t%d", k+1), Time: float64(4 * k), Graph: chain(5000)}
+	}
+	data, err := Encode(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3].Graph.NumNodes() != 5000 {
+		t.Fatal("large round trip failed")
+	}
+}

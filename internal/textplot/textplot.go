@@ -1,0 +1,180 @@
+// Package textplot renders small ASCII line charts and bar charts so the
+// experiment binaries can reproduce the paper's figures directly in a
+// terminal, with no plotting dependencies.
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ErrBadPlot reports unplottable input.
+var ErrBadPlot = errors.New("textplot: bad plot")
+
+// Series is one line on a chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the data points (equal length, X ascending recommended).
+	X, Y []float64
+	// Glyph is the mark used for this series ('*' if zero).
+	Glyph rune
+}
+
+// Line renders the series into w as an ASCII chart of the given interior
+// width and height (characters).
+func Line(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 10 || height < 4 {
+		return fmt.Errorf("%w: chart %dx%d too small", ErrBadPlot, width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("%w: no series", ErrBadPlot)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("%w: series %q has %d xs, %d ys", ErrBadPlot, s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("%w: no finite points", ErrBadPlot)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = glyph
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	yLabelW := 10
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%*.3g |%s|\n", yLabelW, yVal, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", yLabelW), width/2, minX, width-width/2, maxX); err != nil {
+		return err
+	}
+	for _, s := range series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		if _, err := fmt.Fprintf(w, "%s  %c %s\n", strings.Repeat(" ", yLabelW), glyph, s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarGroup is one series in a grouped horizontal bar chart.
+type BarGroup struct {
+	Name   string
+	Values []float64
+	Glyph  rune
+}
+
+// Bars renders grouped horizontal bars (one row per label and group),
+// scaled to the given width — the layout used for the Figure-5 histogram.
+func Bars(w io.Writer, title string, labels []string, groups []BarGroup, width int) error {
+	if width < 10 {
+		return fmt.Errorf("%w: width %d too small", ErrBadPlot, width)
+	}
+	if len(labels) == 0 || len(groups) == 0 {
+		return fmt.Errorf("%w: empty chart", ErrBadPlot)
+	}
+	maxV := 0.0
+	for _, g := range groups {
+		if len(g.Values) != len(labels) {
+			return fmt.Errorf("%w: group %q has %d values for %d labels", ErrBadPlot, g.Name, len(g.Values), len(labels))
+		}
+		for _, v := range g.Values {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("%w: negative or NaN bar value", ErrBadPlot)
+			}
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	labW := 0
+	for _, l := range labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	for i, label := range labels {
+		for gi, g := range groups {
+			glyph := g.Glyph
+			if glyph == 0 {
+				glyph = '#'
+			}
+			n := int(g.Values[i] / maxV * float64(width))
+			lab := label
+			if gi > 0 {
+				lab = strings.Repeat(" ", len(label))
+			}
+			if _, err := fmt.Fprintf(w, "%*s |%s %.3f\n", labW, lab,
+				strings.Repeat(string(glyph), n), g.Values[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, g := range groups {
+		glyph := g.Glyph
+		if glyph == 0 {
+			glyph = '#'
+		}
+		if _, err := fmt.Fprintf(w, "%*s  %c %s\n", labW, "", glyph, g.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

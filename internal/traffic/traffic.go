@@ -1,0 +1,129 @@
+// Package traffic applies the quality estimator to Web traffic data, the
+// §9.1 future-work direction: under the popularity-equivalence hypothesis
+// (Proposition 1) the visit rate satisfies V(p,t) = r·P(p,t), so
+//
+//	Q(p) = (n/r) · (dV/dt)/V + V/r
+//
+// — the same estimator, computed from a site's visit counts instead of its
+// link structure. The paper suggests NetRatings-style panel data; this
+// package works with any visit-rate series, and the tests drive it with
+// the agent simulator's visit streams.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSeries reports invalid traffic input.
+var ErrBadSeries = errors.New("traffic: bad series")
+
+// Series is a sampled visit-rate series: Visits[i] is the number of visits
+// per unit time observed around time T[i].
+type Series struct {
+	T      []float64
+	Visits []float64
+}
+
+// Validate checks the series is usable for estimation.
+func (s Series) Validate() error {
+	if len(s.T) != len(s.Visits) {
+		return fmt.Errorf("%w: %d times, %d rates", ErrBadSeries, len(s.T), len(s.Visits))
+	}
+	if len(s.T) < 2 {
+		return fmt.Errorf("%w: need >= 2 samples", ErrBadSeries)
+	}
+	for i := 1; i < len(s.T); i++ {
+		if s.T[i] <= s.T[i-1] {
+			return fmt.Errorf("%w: times not strictly increasing at %d", ErrBadSeries, i)
+		}
+	}
+	for i, v := range s.Visits {
+		if v < 0 {
+			return fmt.Errorf("%w: negative visit rate at %d", ErrBadSeries, i)
+		}
+	}
+	return nil
+}
+
+// FromCumulative converts cumulative visit counts (as a traffic logger or
+// the agent simulator would report) into a rate series: the rate over
+// window [t_i, t_i+1] is attributed to the window midpoint.
+func FromCumulative(t, cum []float64) (Series, error) {
+	if len(t) != len(cum) {
+		return Series{}, fmt.Errorf("%w: %d times, %d counts", ErrBadSeries, len(t), len(cum))
+	}
+	if len(t) < 3 {
+		return Series{}, fmt.Errorf("%w: need >= 3 cumulative samples", ErrBadSeries)
+	}
+	s := Series{
+		T:      make([]float64, len(t)-1),
+		Visits: make([]float64, len(t)-1),
+	}
+	for i := 0; i+1 < len(t); i++ {
+		dt := t[i+1] - t[i]
+		if dt <= 0 {
+			return Series{}, fmt.Errorf("%w: times not strictly increasing at %d", ErrBadSeries, i+1)
+		}
+		dv := cum[i+1] - cum[i]
+		if dv < 0 {
+			return Series{}, fmt.Errorf("%w: cumulative count decreased at %d", ErrBadSeries, i+1)
+		}
+		s.T[i] = (t[i] + t[i+1]) / 2
+		s.Visits[i] = dv / dt
+	}
+	return s, nil
+}
+
+// EstimateQuality applies the traffic form of the estimator at every
+// sample: central finite differences for dV/dt (one-sided at the
+// endpoints), V/r for the popularity term. Samples with zero visit rate
+// yield NaN-free zero estimates with ok=false in the companion mask.
+func (s Series) EstimateQuality(n, r float64) (est []float64, ok []bool, err error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if n <= 0 || r <= 0 {
+		return nil, nil, fmt.Errorf("%w: n=%g r=%g", ErrBadSeries, n, r)
+	}
+	m := len(s.T)
+	est = make([]float64, m)
+	ok = make([]bool, m)
+	slope := func(i, j int) float64 {
+		return (s.Visits[j] - s.Visits[i]) / (s.T[j] - s.T[i])
+	}
+	for i := 0; i < m; i++ {
+		if s.Visits[i] <= 0 {
+			continue
+		}
+		var d float64
+		switch i {
+		case 0:
+			d = slope(0, 1)
+		case m - 1:
+			d = slope(m-2, m-1)
+		default:
+			d = slope(i-1, i+1)
+		}
+		est[i] = n/r*d/s.Visits[i] + s.Visits[i]/r
+		if est[i] < 0 {
+			est[i] = 0
+		}
+		ok[i] = true
+	}
+	return est, ok, nil
+}
+
+// EstimateLatest returns the estimate at the most recent sample — what a
+// live traffic-quality ranker would serve.
+func (s Series) EstimateLatest(n, r float64) (float64, error) {
+	est, ok, err := s.EstimateQuality(n, r)
+	if err != nil {
+		return 0, err
+	}
+	last := len(est) - 1
+	if !ok[last] {
+		return 0, fmt.Errorf("%w: no traffic at the latest sample", ErrBadSeries)
+	}
+	return est[last], nil
+}

@@ -1,0 +1,207 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pagequality/internal/model"
+	"pagequality/internal/usersim"
+)
+
+// seriesFromModel samples the analytic visit rate V = r·P on a grid.
+func seriesFromModel(p model.Params, tMax float64, steps int) Series {
+	s := Series{
+		T:      make([]float64, steps+1),
+		Visits: make([]float64, steps+1),
+	}
+	for i := 0; i <= steps; i++ {
+		t := tMax * float64(i) / float64(steps)
+		s.T[i] = t
+		s.Visits[i] = p.R * p.PopularityAt(t)
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Series{
+		{T: []float64{0}, Visits: []float64{1, 2}},
+		{T: []float64{0}, Visits: []float64{1}},
+		{T: []float64{0, 0}, Visits: []float64{1, 2}},
+		{T: []float64{0, 1}, Visits: []float64{1, -2}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrBadSeries) {
+			t.Errorf("series %d accepted", i)
+		}
+	}
+	good := Series{T: []float64{0, 1, 2}, Visits: []float64{1, 2, 3}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := good.EstimateQuality(0, 1); !errors.Is(err, ErrBadSeries) {
+		t.Fatal("n=0 accepted")
+	}
+	if _, _, err := good.EstimateQuality(1, -1); !errors.Is(err, ErrBadSeries) {
+		t.Fatal("r<0 accepted")
+	}
+}
+
+// The traffic estimator recovers Q from a clean model-driven visit stream
+// (Theorem 2 transported to traffic space).
+func TestEstimateRecoversQFromModelTraffic(t *testing.T) {
+	p := model.Params{Q: 0.35, N: 1e8, R: 1e8, P0: 1e-7}
+	s := seriesFromModel(p, 80, 1600)
+	est, ok, err := s.EstimateQuality(p.N, p.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(est)-1; i++ {
+		if !ok[i] {
+			t.Fatalf("sample %d not ok", i)
+		}
+		if math.Abs(est[i]-p.Q) > 0.003 {
+			t.Fatalf("sample %d (t=%g): est %g, want %g", i, s.T[i], est[i], p.Q)
+		}
+	}
+	latest, err := s.EstimateLatest(p.N, p.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(latest-p.Q) > 0.01 {
+		t.Fatalf("latest estimate %g, want %g", latest, p.Q)
+	}
+}
+
+func TestFromCumulative(t *testing.T) {
+	// Cumulative counts of a constant 5 visits/unit stream.
+	tt := []float64{0, 1, 2, 3}
+	cum := []float64{0, 5, 10, 15}
+	s, err := FromCumulative(tt, cum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.T) != 3 {
+		t.Fatalf("series length %d", len(s.T))
+	}
+	for i, v := range s.Visits {
+		if v != 5 {
+			t.Fatalf("rate[%d] = %g, want 5", i, v)
+		}
+	}
+	if s.T[0] != 0.5 || s.T[2] != 2.5 {
+		t.Fatalf("midpoints = %v", s.T)
+	}
+	// Validation of bad cumulative inputs.
+	if _, err := FromCumulative([]float64{0, 1}, []float64{0, 1}); !errors.Is(err, ErrBadSeries) {
+		t.Fatal("too-short cumulative accepted")
+	}
+	if _, err := FromCumulative([]float64{0, 1, 1}, []float64{0, 1, 2}); !errors.Is(err, ErrBadSeries) {
+		t.Fatal("non-increasing times accepted")
+	}
+	if _, err := FromCumulative([]float64{0, 1, 2}, []float64{0, 5, 3}); !errors.Is(err, ErrBadSeries) {
+		t.Fatal("decreasing counts accepted")
+	}
+	if _, err := FromCumulative([]float64{0, 1, 2}, []float64{0, 1}); !errors.Is(err, ErrBadSeries) {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestZeroTrafficHandling(t *testing.T) {
+	s := Series{T: []float64{0, 1, 2}, Visits: []float64{0, 0, 4}}
+	est, ok, err := s.EstimateQuality(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok[0] || ok[1] {
+		t.Fatal("zero-rate samples marked ok")
+	}
+	if est[0] != 0 || est[1] != 0 {
+		t.Fatal("zero-rate samples have nonzero estimates")
+	}
+	if !ok[2] {
+		t.Fatal("positive sample not ok")
+	}
+	// EstimateLatest fails when the latest sample has no traffic.
+	dead := Series{T: []float64{0, 1}, Visits: []float64{3, 0}}
+	if _, err := dead.EstimateLatest(10, 10); !errors.Is(err, ErrBadSeries) {
+		t.Fatal("dead latest sample accepted")
+	}
+}
+
+func TestNegativeEstimateClamped(t *testing.T) {
+	// Collapsing traffic would drive the estimate negative; it must clamp.
+	s := Series{T: []float64{0, 1, 2}, Visits: []float64{100, 10, 1}}
+	est, ok, err := s.EstimateQuality(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if ok[i] && est[i] < 0 {
+			t.Fatalf("negative estimate %g at %d", est[i], i)
+		}
+	}
+}
+
+// End-to-end §9.1: measure the visit stream of an agent simulation via
+// cumulative counts and recover the page's quality from traffic alone.
+func TestEstimateFromSimulatedTraffic(t *testing.T) {
+	cfg := usersim.Config{
+		Users:        20000,
+		VisitRate:    20000,
+		Quality:      0.4,
+		InitialLikes: 200,
+		DT:           0.02,
+		Seed:         9,
+	}
+	sim, err := usersim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log cumulative visits once per simulated week.
+	var times, cum []float64
+	times = append(times, sim.Time())
+	cum = append(cum, float64(sim.Visits()))
+	for week := 1; week <= 24; week++ {
+		if _, err := sim.Run(float64(week), 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, sim.Time())
+		cum = append(cum, float64(sim.Visits()))
+	}
+	series, err := FromCumulative(times, cum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, ok, err := series.EstimateQuality(float64(cfg.Users), cfg.VisitRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During the expansion phase the estimate must be near Q; average the
+	// interior estimates to smooth the stochastic noise.
+	sum, n := 0.0, 0
+	for i := 1; i < len(est)-1; i++ {
+		if ok[i] {
+			sum += est[i]
+			n++
+		}
+	}
+	if n < 10 {
+		t.Fatalf("only %d usable samples", n)
+	}
+	avg := sum / float64(n)
+	if math.Abs(avg-cfg.Quality) > 0.08 {
+		t.Fatalf("traffic-based quality %g, want ~%g", avg, cfg.Quality)
+	}
+}
+
+func BenchmarkEstimateQuality(b *testing.B) {
+	p := model.Params{Q: 0.35, N: 1e8, R: 1e8, P0: 1e-7}
+	s := seriesFromModel(p, 80, 1600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.EstimateQuality(p.N, p.R); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package usersim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"pagequality/internal/model"
+)
+
+// Ensemble aggregates many independent runs of the same page
+// configuration: the empirical mean trajectory and its pointwise standard
+// deviation. The mean converges to the Theorem-1 closed form as runs
+// grow, and the standard deviation quantifies the §9.1 statistical noise
+// the snapshot estimator has to survive.
+type Ensemble struct {
+	// T are the shared sample times.
+	T []float64
+	// Mean[i] and Std[i] are the across-run mean and standard deviation of
+	// the popularity at T[i].
+	Mean, Std []float64
+	// Runs is the number of simulations aggregated.
+	Runs int
+}
+
+// RunEnsemble executes runs independent simulations of cfg (seeds
+// cfg.Seed, cfg.Seed+1, ...) in parallel and aggregates their
+// trajectories. Every run samples at the same step boundaries, so the
+// trajectories align exactly.
+func RunEnsemble(cfg Config, runs int, tMax float64, sampleEvery int) (*Ensemble, error) {
+	if runs < 2 {
+		return nil, fmt.Errorf("%w: runs=%d (need >= 2 for a spread)", ErrBadConfig, runs)
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if tMax <= 0 {
+		return nil, fmt.Errorf("%w: tMax=%g", ErrBadConfig, tMax)
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+
+	trajectories := make([]model.Trajectory, runs)
+	errs := make([]error, runs)
+	workers := min(runs, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run := cfg
+				run.Seed = cfg.Seed + int64(i)
+				sim, err := New(run)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				trajectories[i], errs[i] = sim.Run(tMax, sampleEvery)
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// All runs share the same step grid; verify and aggregate.
+	base := trajectories[0]
+	for i := 1; i < runs; i++ {
+		if len(trajectories[i].T) != len(base.T) {
+			return nil, fmt.Errorf("usersim: run %d sampled %d points, run 0 sampled %d",
+				i, len(trajectories[i].T), len(base.T))
+		}
+	}
+	m := len(base.T)
+	ens := &Ensemble{
+		T:    append([]float64(nil), base.T...),
+		Mean: make([]float64, m),
+		Std:  make([]float64, m),
+		Runs: runs,
+	}
+	for j := 0; j < m; j++ {
+		sum := 0.0
+		for i := 0; i < runs; i++ {
+			sum += trajectories[i].P[j]
+		}
+		mean := sum / float64(runs)
+		varSum := 0.0
+		for i := 0; i < runs; i++ {
+			d := trajectories[i].P[j] - mean
+			varSum += d * d
+		}
+		ens.Mean[j] = mean
+		ens.Std[j] = math.Sqrt(varSum / float64(runs-1))
+	}
+	return ens, nil
+}
+
+// MaxDeviationFrom returns the sup-norm distance between the ensemble
+// mean and the analytic popularity of the given parameters.
+func (e *Ensemble) MaxDeviationFrom(p model.Params) float64 {
+	d := 0.0
+	for j, t := range e.T {
+		if x := math.Abs(e.Mean[j] - p.PopularityAt(t)); x > d {
+			d = x
+		}
+	}
+	return d
+}

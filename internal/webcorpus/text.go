@@ -1,0 +1,104 @@
+package webcorpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pagequality/internal/graph"
+)
+
+// This file synthesises page text for the search-engine substrate. Each
+// site is assigned a topic; a page's text mixes its site's topic
+// vocabulary with a global background vocabulary, so topical queries
+// retrieve pages from a handful of sites — mirroring how real keyword
+// queries define a relevant set that the quality metric then ranks
+// (Section 4's relevance-versus-quality discussion).
+
+// topics is the pool of topic names sites draw from (round-robin).
+var topics = []string{
+	"astronomy", "databases", "cycling", "cooking", "gardening",
+	"photography", "sailing", "chess", "volcanoes", "typography",
+	"cryptography", "orchids", "meteorology", "railways", "beekeeping",
+	"calligraphy", "robotics", "genomics", "economics", "linguistics",
+}
+
+// topicVocabSize is how many distinct topic words each topic has.
+const topicVocabSize = 40
+
+// backgroundVocabSize is the size of the shared background vocabulary.
+const backgroundVocabSize = 400
+
+// SiteTopic returns the topic name assigned to a site.
+func SiteTopic(site int) string {
+	if site < 0 {
+		return topics[0]
+	}
+	return topics[site%len(topics)]
+}
+
+// topicWord returns the w-th word of a topic's vocabulary, e.g.
+// "astronomy17".
+func topicWord(topic string, w int) string {
+	return fmt.Sprintf("%s%d", topic, w%topicVocabSize)
+}
+
+// backgroundWord returns the w-th background word, e.g. "common123".
+func backgroundWord(w int) string {
+	return fmt.Sprintf("common%d", w%backgroundVocabSize)
+}
+
+// TextOptions tunes text generation.
+type TextOptions struct {
+	// MinWords/MaxWords bound the document length (defaults 60/180).
+	MinWords, MaxWords int
+	// TopicFrac is the fraction of words drawn from the site topic
+	// vocabulary (default 0.6); the rest come from the background.
+	TopicFrac float64
+}
+
+func (o *TextOptions) fill() {
+	if o.MinWords == 0 {
+		o.MinWords = 60
+	}
+	if o.MaxWords == 0 {
+		o.MaxWords = 180
+	}
+	if o.TopicFrac == 0 {
+		o.TopicFrac = 0.6
+	}
+}
+
+// PageText deterministically generates the text of page id: the generator
+// is seeded from the corpus seed and the page id, so repeated calls (and
+// repeated crawls) see identical documents.
+func (s *Sim) PageText(id graph.NodeID, opts TextOptions) string {
+	opts.fill()
+	pg := s.g.Page(id)
+	mix := uint64(s.cfg.Seed) ^ uint64(id+1)*0x9E3779B97F4A7C15
+	rng := rand.New(rand.NewSource(int64(mix)))
+	topic := SiteTopic(int(pg.Site))
+	n := opts.MinWords + rng.Intn(opts.MaxWords-opts.MinWords+1)
+	var b strings.Builder
+	b.Grow(n * 10)
+	// Title line: the topic plus the page number, always retrievable.
+	fmt.Fprintf(&b, "%s page %d.", topic, id)
+	for w := 0; w < n; w++ {
+		b.WriteByte(' ')
+		if rng.Float64() < opts.TopicFrac {
+			b.WriteString(topicWord(topic, rng.Intn(topicVocabSize)))
+		} else {
+			b.WriteString(backgroundWord(rng.Intn(backgroundVocabSize)))
+		}
+	}
+	return b.String()
+}
+
+// AllTexts generates the text of every page, indexed by NodeID.
+func (s *Sim) AllTexts(opts TextOptions) []string {
+	out := make([]string, s.g.NumNodes())
+	for i := range out {
+		out[i] = s.PageText(graph.NodeID(i), opts)
+	}
+	return out
+}

@@ -1,0 +1,493 @@
+// Package webcorpus synthesises the multi-site Web corpus of the paper's
+// experiment (Section 8) and evolves it over time. The paper crawled 154
+// real Web sites four times between December 2002 and June 2003; this
+// package substitutes a synthetic Web whose link evolution is *driven by
+// the paper's own user-visitation model*: every page has a ground-truth
+// intrinsic quality Q(p), visits arrive in proportion to current
+// popularity (Proposition 1), visitors are uniformly random users
+// (Proposition 2), and a user who discovers a page links to it with
+// probability Q(p). On top of the clean model the corpus supports the
+// §9.1 realism extensions the paper observed in its data: forgetting
+// (decreasing popularity), link-churn noise (fluctuating PageRanks) and
+// continuous page births.
+//
+// Because every page's true quality is known by construction, experiments
+// can evaluate the estimator against ground truth — something the paper's
+// real crawl could only approximate with future PageRank.
+package webcorpus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pagequality/internal/graph"
+	"pagequality/internal/snapshot"
+)
+
+// Config parameterises a corpus simulation. The zero value is invalid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Sites is the number of Web sites (the paper used 154).
+	Sites int
+	// InitialPagesPerSite is the mean number of pages per site at the
+	// start of the burn-in period (actual counts vary ±50%).
+	InitialPagesPerSite int
+	// Users is n, the size of the simulated user population.
+	Users int
+	// VisitRate is r: a page with popularity P receives r·P visits per
+	// week. r = Users gives the logistic growth rate (r/n)·Q = Q per week.
+	VisitRate float64
+	// LinkProb is the probability that a user who likes a page actually
+	// publishes a link to it (thins the link graph without changing the
+	// proportionality that the estimator relies on).
+	LinkProb float64
+	// SameSiteBias is the probability that a new link originates from a
+	// page on the same site (intra-site links dominated the paper's
+	// site-restricted crawl).
+	SameSiteBias float64
+	// QualityAlpha/QualityBeta shape the Beta(α,β) distribution from which
+	// page qualities are drawn.
+	QualityAlpha, QualityBeta float64
+	// BirthRate is the number of new pages born per week across the corpus
+	// (Poisson).
+	BirthRate float64
+	// ForgetRate is the §9.1 per-user forgetting rate per week (0 = the
+	// paper's clean model).
+	ForgetRate float64
+	// NoiseRate adds link churn uncorrelated with quality: per week, a
+	// Poisson(NoiseRate · pages) number of random single-link
+	// additions/removals. This is what makes some PageRanks fluctuate the
+	// way the paper observed.
+	NoiseRate float64
+	// DT is the simulation step in weeks (default 0.25).
+	DT float64
+	// BurnInWeeks ages the corpus before t=0 so that the crawl window
+	// sees pages in all three life stages.
+	BurnInWeeks float64
+	// Seed makes the corpus deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration mirroring the paper's
+// setup: 154 sites, pages in all life stages at the first crawl, and four
+// snapshots on the Figure-4 timeline.
+func DefaultConfig() Config {
+	return Config{
+		Sites:               154,
+		InitialPagesPerSite: 10,
+		Users:               20000,
+		VisitRate:           20000,
+		LinkProb:            0.02,
+		SameSiteBias:        0.5,
+		QualityAlpha:        2,
+		QualityBeta:         3,
+		BirthRate:           8,
+		ForgetRate:          0.01,
+		NoiseRate:           0.02,
+		DT:                  0.25,
+		BurnInWeeks:         30,
+		Seed:                1,
+	}
+}
+
+// ErrBadConfig reports invalid corpus configuration.
+var ErrBadConfig = errors.New("webcorpus: bad config")
+
+func (c *Config) fill() error {
+	if c.DT == 0 {
+		c.DT = 0.25
+	}
+	switch {
+	case c.Sites < 1:
+		return fmt.Errorf("%w: Sites=%d", ErrBadConfig, c.Sites)
+	case c.InitialPagesPerSite < 1:
+		return fmt.Errorf("%w: InitialPagesPerSite=%d", ErrBadConfig, c.InitialPagesPerSite)
+	case c.Users < 10:
+		return fmt.Errorf("%w: Users=%d", ErrBadConfig, c.Users)
+	case c.VisitRate <= 0:
+		return fmt.Errorf("%w: VisitRate=%g", ErrBadConfig, c.VisitRate)
+	case c.LinkProb <= 0 || c.LinkProb > 1:
+		return fmt.Errorf("%w: LinkProb=%g", ErrBadConfig, c.LinkProb)
+	case c.SameSiteBias < 0 || c.SameSiteBias > 1:
+		return fmt.Errorf("%w: SameSiteBias=%g", ErrBadConfig, c.SameSiteBias)
+	case c.QualityAlpha <= 0 || c.QualityBeta <= 0:
+		return fmt.Errorf("%w: quality Beta(%g,%g)", ErrBadConfig, c.QualityAlpha, c.QualityBeta)
+	case c.BirthRate < 0:
+		return fmt.Errorf("%w: BirthRate=%g", ErrBadConfig, c.BirthRate)
+	case c.ForgetRate < 0:
+		return fmt.Errorf("%w: ForgetRate=%g", ErrBadConfig, c.ForgetRate)
+	case c.NoiseRate < 0:
+		return fmt.Errorf("%w: NoiseRate=%g", ErrBadConfig, c.NoiseRate)
+	case c.DT <= 0:
+		return fmt.Errorf("%w: DT=%g", ErrBadConfig, c.DT)
+	case c.BurnInWeeks < 0:
+		return fmt.Errorf("%w: BurnInWeeks=%g", ErrBadConfig, c.BurnInWeeks)
+	}
+	return nil
+}
+
+// Sim is a running corpus simulation. The underlying graph only ever
+// grows nodes (pages are never deleted, matching a crawler that keeps
+// seeing the same URLs); links come and go.
+type Sim struct {
+	cfg Config
+	rng *rand.Rand
+	g   *graph.Graph
+	// Per-page state, indexed by NodeID.
+	aware []float64 // number of users aware of the page
+	likes []float64 // number of users who like the page (popularity × n)
+	// sitePages[s] lists the pages of site s (link-source sampling).
+	sitePages [][]graph.NodeID
+	time      float64
+	pageSeq   int
+}
+
+// New builds the corpus, runs the burn-in, and leaves the simulation at
+// t = 0 ready for the snapshot schedule.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		g:         graph.New(cfg.Sites * cfg.InitialPagesPerSite * 2),
+		sitePages: make([][]graph.NodeID, cfg.Sites),
+		time:      -cfg.BurnInWeeks,
+	}
+	for site := 0; site < cfg.Sites; site++ {
+		n := cfg.InitialPagesPerSite/2 + s.rng.Intn(cfg.InitialPagesPerSite+1)
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			// Stagger creation across the burn-in window so the corpus
+			// contains pages of every age.
+			created := -cfg.BurnInWeeks * s.rng.Float64()
+			s.birthPage(site, created)
+		}
+	}
+	// Burn-in: advance to t = 0.
+	if cfg.BurnInWeeks > 0 {
+		s.AdvanceTo(0)
+	}
+	return s, nil
+}
+
+// BirthPage inserts one page with a chosen quality on the given site at
+// the current simulation time, returning its node id. It is the hook for
+// scenario building (e.g. injecting a known high-quality newcomer);
+// the regular birth process draws its quality from the Beta distribution
+// instead.
+func (s *Sim) BirthPage(site int, q float64) (graph.NodeID, error) {
+	if site < 0 || site >= s.cfg.Sites {
+		return graph.InvalidNode, fmt.Errorf("%w: site %d outside [0,%d)", ErrBadConfig, site, s.cfg.Sites)
+	}
+	if !(q > 0 && q <= 1) {
+		return graph.InvalidNode, fmt.Errorf("%w: quality %g outside (0,1]", ErrBadConfig, q)
+	}
+	return s.birthPageQ(site, s.time, q), nil
+}
+
+// birthPage creates one page on the given site with a Beta-distributed
+// quality and one seed user who likes it.
+func (s *Sim) birthPage(site int, created float64) graph.NodeID {
+	q := betaSample(s.rng, s.cfg.QualityAlpha, s.cfg.QualityBeta)
+	// Clamp away from 0 so the page can be visited at all (P0 = 1/n > 0).
+	if q < 0.01 {
+		q = 0.01
+	}
+	return s.birthPageQ(site, created, q)
+}
+
+func (s *Sim) birthPageQ(site int, created, q float64) graph.NodeID {
+	url := fmt.Sprintf("http://site%03d.example/page%06d", site, s.pageSeq)
+	s.pageSeq++
+	id := s.g.MustAddPage(graph.Page{
+		URL:     url,
+		Site:    int32(site),
+		Created: created,
+		Quality: q,
+	})
+	s.aware = append(s.aware, 1)
+	s.likes = append(s.likes, 1)
+	s.sitePages[site] = append(s.sitePages[site], id)
+	// The seed liker publishes the page's first in-link.
+	s.createLinkTo(id)
+	return id
+}
+
+// createLinkTo adds one in-link to page p from a source chosen with the
+// configured same-site bias; duplicates and self-links are silently
+// skipped after a few attempts (the like still counts — the user simply
+// linked to a page that already linked there).
+func (s *Sim) createLinkTo(p graph.NodeID) {
+	site := int(s.g.Page(p).Site)
+	for attempt := 0; attempt < 8; attempt++ {
+		var from graph.NodeID
+		if s.rng.Float64() < s.cfg.SameSiteBias && len(s.sitePages[site]) > 1 {
+			cand := s.sitePages[site]
+			from = cand[s.rng.Intn(len(cand))]
+		} else {
+			from = graph.NodeID(s.rng.Intn(s.g.NumNodes()))
+		}
+		if from == p {
+			continue
+		}
+		if s.g.AddLink(from, p) {
+			return
+		}
+	}
+}
+
+// removeLinkTo removes one random in-link of p, if any.
+func (s *Sim) removeLinkTo(p graph.NodeID) {
+	in := s.g.InLinks(p)
+	if len(in) == 0 {
+		return
+	}
+	from := in[s.rng.Intn(len(in))]
+	s.g.RemoveLink(from, p)
+}
+
+// Time returns the current simulation time in weeks (0 = first crawl).
+func (s *Sim) Time() float64 { return s.time }
+
+// NumPages returns the current page count.
+func (s *Sim) NumPages() int { return s.g.NumNodes() }
+
+// NumLinks returns the current link count.
+func (s *Sim) NumLinks() int { return s.g.NumEdges() }
+
+// Popularity returns the current popularity P(p,t) = likes/n of page p.
+func (s *Sim) Popularity(p graph.NodeID) float64 {
+	return s.likes[p] / float64(s.cfg.Users)
+}
+
+// Quality returns the ground-truth quality of page p.
+func (s *Sim) Quality(p graph.NodeID) float64 {
+	return s.g.Page(p).Quality
+}
+
+// Graph exposes the live graph for inspection. Callers must not mutate it;
+// use SnapshotNow for a stable copy.
+func (s *Sim) Graph() *graph.Graph { return s.g }
+
+// step advances one DT tick.
+func (s *Sim) step() {
+	cfg := &s.cfg
+	n := float64(cfg.Users)
+	// Page visits, discoveries, likes, links.
+	for p := 0; p < s.g.NumNodes(); p++ {
+		id := graph.NodeID(p)
+		pop := s.likes[p] / n
+		if pop <= 0 {
+			continue
+		}
+		visits := poisson(s.rng, cfg.VisitRate*pop*cfg.DT)
+		if visits == 0 {
+			continue
+		}
+		q := s.g.Page(id).Quality
+		unawareFrac := 1 - s.aware[p]/n
+		if unawareFrac < 0 {
+			unawareFrac = 0
+		}
+		// Each visit lands on an unaware user with prob unawareFrac
+		// (random-visit hypothesis); thin the Poisson instead of looping
+		// when visit counts are large.
+		discoveries := binomial(s.rng, visits, unawareFrac)
+		if discoveries == 0 {
+			continue
+		}
+		s.aware[p] += float64(discoveries)
+		newLikes := binomial(s.rng, discoveries, q)
+		s.likes[p] += float64(newLikes)
+		links := binomial(s.rng, newLikes, cfg.LinkProb)
+		for k := 0; k < links; k++ {
+			s.createLinkTo(id)
+		}
+	}
+	// Forgetting (§9.1): aware users forget; forgetting likers withdraw
+	// their links.
+	if cfg.ForgetRate > 0 {
+		for p := 0; p < s.g.NumNodes(); p++ {
+			if s.aware[p] <= 1 {
+				continue
+			}
+			forgets := poisson(s.rng, cfg.ForgetRate*s.aware[p]*cfg.DT)
+			for k := 0; k < forgets && s.aware[p] > 1; k++ {
+				likerFrac := s.likes[p] / s.aware[p]
+				s.aware[p]--
+				if s.rng.Float64() < likerFrac && s.likes[p] > 1 {
+					s.likes[p]--
+					if s.rng.Float64() < cfg.LinkProb {
+						s.removeLinkTo(graph.NodeID(p))
+					}
+				}
+			}
+		}
+	}
+	// Uncorrelated link churn (fluctuation noise).
+	if cfg.NoiseRate > 0 {
+		events := poisson(s.rng, cfg.NoiseRate*float64(s.g.NumNodes())*cfg.DT)
+		for k := 0; k < events; k++ {
+			p := graph.NodeID(s.rng.Intn(s.g.NumNodes()))
+			if s.rng.Float64() < 0.5 {
+				s.createLinkTo(p)
+			} else {
+				s.removeLinkTo(p)
+			}
+		}
+	}
+	// Page births.
+	if cfg.BirthRate > 0 {
+		births := poisson(s.rng, cfg.BirthRate*cfg.DT)
+		for k := 0; k < births; k++ {
+			site := s.rng.Intn(cfg.Sites)
+			s.birthPage(site, s.time)
+		}
+	}
+	s.time += cfg.DT
+}
+
+// AdvanceTo steps the simulation until the clock reaches t.
+func (s *Sim) AdvanceTo(t float64) {
+	for s.time < t-1e-9 {
+		s.step()
+	}
+}
+
+// SnapshotNow captures a deep copy of the current graph as a crawl
+// snapshot.
+func (s *Sim) SnapshotNow(label string) snapshot.Snapshot {
+	return snapshot.Snapshot{Label: label, Time: s.time, Graph: s.g.Clone()}
+}
+
+// RunSchedule advances through the schedule, capturing one snapshot per
+// entry. Times are in weeks relative to t = 0 and must be non-decreasing
+// and not in the past.
+func (s *Sim) RunSchedule(sched Schedule) ([]snapshot.Snapshot, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sched.Times) > 0 && sched.Times[0] < s.time-1e-9 {
+		return nil, fmt.Errorf("%w: schedule starts at %g but simulation is at %g",
+			ErrBadConfig, sched.Times[0], s.time)
+	}
+	snaps := make([]snapshot.Snapshot, 0, len(sched.Times))
+	for i, t := range sched.Times {
+		s.AdvanceTo(t)
+		snaps = append(snaps, s.SnapshotNow(sched.Labels[i]))
+	}
+	return snaps, nil
+}
+
+// TrueQualities returns the ground-truth quality for the given URLs
+// (aligned page order), enabling evaluation against truth rather than
+// future PageRank.
+func (s *Sim) TrueQualities(urls []string) ([]float64, error) {
+	out := make([]float64, len(urls))
+	for i, u := range urls {
+		id, ok := s.g.Lookup(u)
+		if !ok {
+			return nil, fmt.Errorf("webcorpus: unknown URL %q", u)
+		}
+		out[i] = s.g.Page(id).Quality
+	}
+	return out, nil
+}
+
+// betaSample draws from Beta(a, b) via two Gamma variates
+// (Marsaglia–Tsang), using only math/rand.
+func betaSample(rng *rand.Rand, a, b float64) float64 {
+	x := gammaSample(rng, a)
+	y := gammaSample(rng, b)
+	return x / (x + y)
+}
+
+// gammaSample draws from Gamma(shape, 1) with the Marsaglia–Tsang method
+// (boosted for shape < 1).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// poisson draws Poisson(lambda): Knuth for small lambda, normal
+// approximation for large.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return int(math.Round(v))
+}
+
+// binomial draws Binomial(n, p): exact Bernoulli loop for small n, normal
+// approximation for large n.
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n < 50 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	v := int(math.Round(mean + sd*rng.NormFloat64()))
+	if v < 0 {
+		v = 0
+	}
+	if v > n {
+		v = n
+	}
+	return v
+}
