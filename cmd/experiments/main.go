@@ -256,7 +256,9 @@ func figure5(out io.Writer, cfg experiments.HeadlineConfig, writeCSV csvSink) er
 }
 
 func ablationC(out io.Writer, cfg experiments.HeadlineConfig, writeCSV csvSink) error {
-	cs := []float64{0.01, 0.1, 0.5, 1.0, 1.5, 2.0, 3.0}
+	// C=0 is the pure-popularity endpoint: Q degenerates to PR, so its
+	// row doubles as a sanity check that avgErr(Q) == avgErr(PR) there.
+	cs := []float64{0, 0.01, 0.1, 0.5, 1.0, 1.5, 2.0, 3.0}
 	fmt.Fprintln(out, "Ablation A: estimator constant C (paper tuned C=0.1 to its crawl; our corpus tunes to 1.0)")
 	pts, err := experiments.AblationC(cfg, cs)
 	if err != nil {

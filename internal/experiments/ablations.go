@@ -44,8 +44,8 @@ func AblationC(cfg HeadlineConfig, cs []float64) ([]CPoint, error) {
 	}
 	out := make([]CPoint, 0, len(cs))
 	for _, c := range cs {
-		if c <= 0 {
-			return nil, fmt.Errorf("experiments: C sweep value %g must be positive", c)
+		if c < 0 {
+			return nil, fmt.Errorf("experiments: C sweep value %g must be non-negative", c)
 		}
 		run := cfg
 		run.Estimator.C = c

@@ -178,7 +178,7 @@ func TestHeadlineScheduleValidation(t *testing.T) {
 // significantly").
 func TestAblationC(t *testing.T) {
 	cfg := testHeadlineConfig(2)
-	cs := []float64{1e-6, 0.5, 1.0, 1.5}
+	cs := []float64{0, 0.5, 1.0, 1.5}
 	pts, err := AblationC(cfg, cs)
 	if err != nil {
 		t.Fatal(err)
@@ -186,9 +186,11 @@ func TestAblationC(t *testing.T) {
 	if len(pts) != len(cs) {
 		t.Fatalf("%d points", len(pts))
 	}
-	// C→0 degenerates to the PageRank baseline.
-	if math.Abs(pts[0].AvgErrQ-pts[0].AvgErrPR) > 0.01 {
-		t.Fatalf("C→0 error %.3f != PR error %.3f", pts[0].AvgErrQ, pts[0].AvgErrPR)
+	// The C = 0 endpoint is the pure-popularity baseline: the estimate is
+	// exactly the current PageRank, so the errors must coincide exactly
+	// (an explicit zero C must not be rewritten to the 0.1 default).
+	if pts[0].AvgErrQ != pts[0].AvgErrPR {
+		t.Fatalf("C=0 error %g != PR error %g", pts[0].AvgErrQ, pts[0].AvgErrPR)
 	}
 	// The tuned C=1.0 beats the degenerate baseline.
 	if pts[2].AvgErrQ >= pts[0].AvgErrQ {

@@ -104,7 +104,10 @@ func (c *HeadlineConfig) fill() {
 	if c.EstimationSnaps == 0 {
 		c.EstimationSnaps = len(c.Schedule.Times) - 1
 	}
-	if c.Estimator.C == 0 {
+	// Only a wholly zero estimator config counts as "unset": an explicit
+	// C = 0 alongside any other setting is the caller's pure-popularity
+	// baseline (the C → 0 endpoint of Ablation A) and must be respected.
+	if c.Estimator == (quality.Config{}) {
 		c.Estimator = quality.DefaultConfig()
 	}
 }

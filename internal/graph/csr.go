@@ -15,7 +15,19 @@ type CSR struct {
 
 	inOff   []uint32 // len n+1
 	inFrom  []NodeID // len e
-	outDegs []uint32 // out-degree per node, len n (avoids pointer chase)
+	outDegs []uint32  // out-degree per node, len n (avoids pointer chase)
+	invOut  []float64 // 1/out-degree per node (0 for danglings), len n
+}
+
+// buildInvOut fills invOut from outDegs; one division per node here spares
+// iterative kernels one division per edge per iteration.
+func (c *CSR) buildInvOut() {
+	c.invOut = make([]float64, c.n)
+	for i, d := range c.outDegs {
+		if d > 0 {
+			c.invOut[i] = 1 / float64(d)
+		}
+	}
 }
 
 // Freeze builds a CSR from the current state of g. The graph may continue
@@ -41,6 +53,7 @@ func Freeze(g *Graph) *CSR {
 	}
 	c.outOff[n] = uint32(len(c.outTo))
 	c.inOff[n] = uint32(len(c.inFrom))
+	c.buildInvOut()
 	return c
 }
 
@@ -64,6 +77,23 @@ func (c *CSR) In(id NodeID) []NodeID {
 
 // OutDegree returns the out-degree of id.
 func (c *CSR) OutDegree(id NodeID) int { return int(c.outDegs[id]) }
+
+// InLists exposes the raw in-adjacency arrays: off has length NumNodes()+1
+// and from[off[i]:off[i+1]] are the in-neighbours of node i. The slices
+// alias internal storage and must not be mutated. Flat kernels (PageRank)
+// iterate these directly instead of calling In per node.
+func (c *CSR) InLists() (off []uint32, from []NodeID) {
+	return c.inOff, c.inFrom
+}
+
+// OutDegrees exposes the raw out-degree array, indexed by NodeID. The
+// slice aliases internal storage and must not be mutated.
+func (c *CSR) OutDegrees() []uint32 { return c.outDegs }
+
+// InvOutDegrees exposes the precomputed 1/out-degree array, indexed by
+// NodeID; dangling nodes hold 0. The slice aliases internal storage and
+// must not be mutated.
+func (c *CSR) InvOutDegrees() []float64 { return c.invOut }
 
 // InDegree returns the in-degree of id.
 func (c *CSR) InDegree(id NodeID) int {
@@ -96,5 +126,6 @@ func (c *CSR) Transpose() *CSR {
 	for i := 0; i < c.n; i++ {
 		t.outDegs[i] = t.outOff[i+1] - t.outOff[i]
 	}
+	t.buildInvOut()
 	return t
 }

@@ -5,6 +5,13 @@
 // teleport vectors, parallel execution and Aitken Δ² extrapolation
 // acceleration. The package also provides the HITS and in-degree baselines
 // referenced in the paper's related work.
+//
+// Compute is the hot path of every experiment: it runs a specialised flat
+// kernel per (Variant × Dangling) combination over the CSR's raw
+// in-adjacency arrays, with a precomputed inverse-out-degree table and all
+// per-iteration reductions (dangling mass, vector sum, L1 delta) fused
+// into the parallel sweeps as per-chunk partials. ComputeReference retains
+// the straightforward implementation as the correctness oracle.
 package pagerank
 
 import (
@@ -61,7 +68,10 @@ type Options struct {
 	Tol float64
 	// MaxIter bounds the number of power iterations. Defaults to 200.
 	MaxIter int
-	// Workers is the parallelism degree; 0 means GOMAXPROCS.
+	// Workers is the parallelism degree; 0 means GOMAXPROCS. The computed
+	// vector (and the iteration count) is bitwise identical for every
+	// Workers setting: parallel reductions are combined over fixed-size
+	// chunks whose boundaries depend only on the node count.
 	Workers int
 	// Dangling selects the dangling-node policy.
 	Dangling Dangling
@@ -72,7 +82,8 @@ type Options struct {
 	Teleport []float64
 	// Extrapolate enables periodic Aitken Δ² extrapolation (Kamvar et al.
 	// [12]), applying one extrapolation step every ExtrapolatePeriod
-	// iterations (default 10 when enabled).
+	// iterations (default 10 when enabled). ExtrapolatePeriod must not be
+	// negative.
 	Extrapolate       bool
 	ExtrapolatePeriod int
 }
@@ -129,10 +140,308 @@ func (o *Options) fill(n int) error {
 			return fmt.Errorf("%w: teleport sums to zero", ErrBadOptions)
 		}
 	}
+	if o.ExtrapolatePeriod < 0 {
+		return fmt.Errorf("%w: ExtrapolatePeriod %d < 0", ErrBadOptions, o.ExtrapolatePeriod)
+	}
 	if o.Extrapolate && o.ExtrapolatePeriod == 0 {
 		o.ExtrapolatePeriod = 10
 	}
+	switch o.Variant {
+	case VariantPaper, VariantStandard:
+	default:
+		return fmt.Errorf("%w: unknown variant %d", ErrBadOptions, o.Variant)
+	}
+	switch o.Dangling {
+	case DanglingUniform, DanglingSelf, DanglingTeleport:
+	default:
+		return fmt.Errorf("%w: unknown dangling policy %d", ErrBadOptions, o.Dangling)
+	}
 	return nil
+}
+
+// normalizeTeleport returns the sum-1 copy of t, or nil when t is nil.
+func normalizeTeleport(t []float64) []float64 {
+	if t == nil {
+		return nil
+	}
+	sum := 0.0
+	for _, v := range t {
+		sum += v
+	}
+	norm := make([]float64, len(t))
+	for i, v := range t {
+		norm[i] = v / sum
+	}
+	return norm
+}
+
+// kernelState carries everything the specialised sweep kernels read. The
+// slices are fixed for the whole computation; the scalars (share, dmass,
+// invSumCur, invSumNext) are updated between pool runs, never during one.
+type kernelState struct {
+	inOff   []uint32
+	inFrom  []graph.NodeID
+	outDegs []uint32
+	invOut  []float64 // 1/outdeg, 0 for dangling nodes
+	cur     []float64
+	next    []float64
+	curS    []float64 // cur[i]·invOut[i], the per-edge contribution of i
+	nextS   []float64
+	tele    []float64 // normalised teleport (nil if unset)
+	baseVec []float64 // Jump·tele[i] (nil unless personalised standard)
+
+	baseConst float64
+	follow    float64
+
+	share float64 // dmass/n, uniform-style dangling policies
+	dmass float64 // dangling mass, DanglingTeleport with a vector
+
+	invSumCur  float64
+	invSumNext float64
+
+	partSum   []float64 // per-chunk Σ next[i]
+	partDang  []float64 // per-chunk Σ next[i] over dangling i
+	partDelta []float64 // per-chunk L1 delta on normalised vectors
+}
+
+// The six sweep kernels: flat loops over the CSR in-adjacency, one per
+// (constant-vs-personalised base × dangling policy). Each computes
+// next[i] for one chunk and records the chunk's partial next-sum and
+// dangling-mass reductions — there is no per-node function call and no
+// division in the inner loop. The inner loop gathers the pre-scaled
+// curS[j] = cur[j]·invOut[j], a single 8-byte random read per edge; the
+// scaled entry for the next iteration (nextS[i] = next[i]·invOut[i]) is
+// produced by the same pass as a sequential store. invOut[i] == 0 exactly
+// when i is dangling, so the kernels never touch outDegs. Four
+// accumulators break the floating-point add dependency chain so several
+// gathers stay in flight; the row sum therefore associates differently
+// from ComputeReference — which is why agreement with the reference is
+// specified to 1e-12 on the normalised vectors rather than bitwise.
+// (Determinism across Workers settings is unaffected: chunk boundaries
+// and the in-chunk order are fixed for a given graph.)
+
+func (k *kernelState) sweepConstShare(chunk, lo, hi int) {
+	inOff, inFrom, curS, invOut := k.inOff, k.inFrom, k.curS, k.invOut
+	next, nextS := k.next, k.nextS
+	base, follow, share := k.baseConst, k.follow, k.share
+	s, dm := 0.0, 0.0
+	for i := lo; i < hi; i++ {
+		sum := share
+		e, end := inOff[i], inOff[i+1]
+		switch end - e {
+		case 0:
+		case 1:
+			sum += curS[inFrom[e]]
+		case 2:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]]
+		case 3:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]] + curS[inFrom[e+2]]
+		default:
+			for ; e < end; e++ {
+				sum += curS[inFrom[e]]
+			}
+		}
+		v := base + follow*sum
+		next[i] = v
+		s += v
+		inv := invOut[i]
+		nextS[i] = v * inv
+		if inv == 0 {
+			dm += v
+		}
+	}
+	k.partSum[chunk] = s
+	k.partDang[chunk] = dm
+}
+
+func (k *kernelState) sweepConstSelf(chunk, lo, hi int) {
+	inOff, inFrom, curS, invOut := k.inOff, k.inFrom, k.curS, k.invOut
+	next, nextS, cur := k.next, k.nextS, k.cur
+	base, follow := k.baseConst, k.follow
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		inv := invOut[i]
+		if inv == 0 {
+			sum = cur[i]
+		}
+		e, end := inOff[i], inOff[i+1]
+		switch end - e {
+		case 0:
+		case 1:
+			sum += curS[inFrom[e]]
+		case 2:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]]
+		case 3:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]] + curS[inFrom[e+2]]
+		default:
+			for ; e < end; e++ {
+				sum += curS[inFrom[e]]
+			}
+		}
+		v := base + follow*sum
+		next[i] = v
+		nextS[i] = v * inv
+		s += v
+	}
+	k.partSum[chunk] = s
+}
+
+func (k *kernelState) sweepConstTele(chunk, lo, hi int) {
+	inOff, inFrom, curS, invOut := k.inOff, k.inFrom, k.curS, k.invOut
+	next, nextS, tele := k.next, k.nextS, k.tele
+	base, follow, dmass := k.baseConst, k.follow, k.dmass
+	s, dm := 0.0, 0.0
+	for i := lo; i < hi; i++ {
+		sum := dmass * tele[i]
+		e, end := inOff[i], inOff[i+1]
+		switch end - e {
+		case 0:
+		case 1:
+			sum += curS[inFrom[e]]
+		case 2:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]]
+		case 3:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]] + curS[inFrom[e+2]]
+		default:
+			for ; e < end; e++ {
+				sum += curS[inFrom[e]]
+			}
+		}
+		v := base + follow*sum
+		next[i] = v
+		s += v
+		inv := invOut[i]
+		nextS[i] = v * inv
+		if inv == 0 {
+			dm += v
+		}
+	}
+	k.partSum[chunk] = s
+	k.partDang[chunk] = dm
+}
+
+func (k *kernelState) sweepVecShare(chunk, lo, hi int) {
+	inOff, inFrom, curS, invOut := k.inOff, k.inFrom, k.curS, k.invOut
+	next, nextS, baseVec := k.next, k.nextS, k.baseVec
+	follow, share := k.follow, k.share
+	s, dm := 0.0, 0.0
+	for i := lo; i < hi; i++ {
+		sum := share
+		e, end := inOff[i], inOff[i+1]
+		switch end - e {
+		case 0:
+		case 1:
+			sum += curS[inFrom[e]]
+		case 2:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]]
+		case 3:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]] + curS[inFrom[e+2]]
+		default:
+			for ; e < end; e++ {
+				sum += curS[inFrom[e]]
+			}
+		}
+		v := baseVec[i] + follow*sum
+		next[i] = v
+		s += v
+		inv := invOut[i]
+		nextS[i] = v * inv
+		if inv == 0 {
+			dm += v
+		}
+	}
+	k.partSum[chunk] = s
+	k.partDang[chunk] = dm
+}
+
+func (k *kernelState) sweepVecSelf(chunk, lo, hi int) {
+	inOff, inFrom, curS, invOut := k.inOff, k.inFrom, k.curS, k.invOut
+	next, nextS, cur, baseVec := k.next, k.nextS, k.cur, k.baseVec
+	follow := k.follow
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		inv := invOut[i]
+		if inv == 0 {
+			sum = cur[i]
+		}
+		e, end := inOff[i], inOff[i+1]
+		switch end - e {
+		case 0:
+		case 1:
+			sum += curS[inFrom[e]]
+		case 2:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]]
+		case 3:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]] + curS[inFrom[e+2]]
+		default:
+			for ; e < end; e++ {
+				sum += curS[inFrom[e]]
+			}
+		}
+		v := baseVec[i] + follow*sum
+		next[i] = v
+		nextS[i] = v * inv
+		s += v
+	}
+	k.partSum[chunk] = s
+}
+
+func (k *kernelState) sweepVecTele(chunk, lo, hi int) {
+	inOff, inFrom, curS, invOut := k.inOff, k.inFrom, k.curS, k.invOut
+	next, nextS, baseVec, tele := k.next, k.nextS, k.baseVec, k.tele
+	follow, dmass := k.follow, k.dmass
+	s, dm := 0.0, 0.0
+	for i := lo; i < hi; i++ {
+		sum := dmass * tele[i]
+		e, end := inOff[i], inOff[i+1]
+		switch end - e {
+		case 0:
+		case 1:
+			sum += curS[inFrom[e]]
+		case 2:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]]
+		case 3:
+			sum += curS[inFrom[e]] + curS[inFrom[e+1]] + curS[inFrom[e+2]]
+		default:
+			for ; e < end; e++ {
+				sum += curS[inFrom[e]]
+			}
+		}
+		v := baseVec[i] + follow*sum
+		next[i] = v
+		s += v
+		inv := invOut[i]
+		nextS[i] = v * inv
+		if inv == 0 {
+			dm += v
+		}
+	}
+	k.partSum[chunk] = s
+	k.partDang[chunk] = dm
+}
+
+// sweepDelta accumulates one chunk's share of the L1 distance between the
+// sum-1 normalisations of cur and next.
+func (k *kernelState) sweepDelta(chunk, lo, hi int) {
+	cur, next := k.cur, k.next
+	ic, in := k.invSumCur, k.invSumNext
+	d := 0.0
+	for i := lo; i < hi; i++ {
+		d += math.Abs(next[i]*in - cur[i]*ic)
+	}
+	k.partDelta[chunk] = d
+}
+
+// sumChunks combines per-chunk partials in chunk order, so the result is
+// independent of which worker computed which chunk.
+func sumChunks(parts []float64) float64 {
+	s := 0.0
+	for _, v := range parts {
+		s += v
+	}
+	return s
 }
 
 // Compute runs the PageRank power iteration over c.
@@ -145,49 +454,102 @@ func Compute(c *graph.CSR, opts Options) (*Result, error) {
 		return &Result{Rank: nil, Converged: true}, nil
 	}
 
-	// Normalised teleport vector (uniform if unset).
-	tele := opts.Teleport
-	if tele != nil {
-		sum := 0.0
-		for _, v := range tele {
-			sum += v
-		}
-		norm := make([]float64, n)
-		for i, v := range tele {
-			norm[i] = v / sum
-		}
-		tele = norm
+	tele := normalizeTeleport(opts.Teleport)
+	inOff, inFrom := c.InLists()
+	outDegs := c.OutDegrees()
+
+	// Inverse out-degree table, precomputed at Freeze time: one division
+	// per node there replaces one division per edge per iteration here.
+	// Dangling nodes hold 0 — their mass flows through the dangling
+	// policy, never through invOut.
+	invOut := c.InvOutDegrees()
+
+	k := &kernelState{
+		inOff:   inOff,
+		inFrom:  inFrom,
+		outDegs: outDegs,
+		invOut:  invOut,
+		tele:    tele,
+		follow:  1 - opts.Jump,
 	}
 
-	danglings := c.Danglings()
-
-	// Base (per-node constant) and scale depend on the variant. Both
-	// variants share one iteration kernel operating on an arbitrary-scale
-	// vector; convergence is measured after scaling to sum 1.
-	var base func(i int) float64
-	follow := 1 - opts.Jump
 	total := 1.0
 	switch opts.Variant {
 	case VariantPaper:
 		total = float64(n)
-		base = func(int) float64 { return opts.Jump }
+		k.baseConst = opts.Jump
 	case VariantStandard:
 		if tele == nil {
-			b := opts.Jump / float64(n)
-			base = func(int) float64 { return b }
+			k.baseConst = opts.Jump / float64(n)
 		} else {
-			base = func(i int) float64 { return opts.Jump * tele[i] }
+			k.baseVec = make([]float64, n)
+			for i, v := range tele {
+				k.baseVec[i] = opts.Jump * v
+			}
 		}
-	default:
-		return nil, fmt.Errorf("%w: unknown variant %d", ErrBadOptions, opts.Variant)
 	}
+
+	// Select the specialised kernel for this (base × dangling) combination.
+	var sweep func(chunk, lo, hi int)
+	shareBased := false // dangling mass redistributed via the share scalar
+	switch opts.Dangling {
+	case DanglingSelf:
+		if k.baseVec == nil {
+			sweep = k.sweepConstSelf
+		} else {
+			sweep = k.sweepVecSelf
+		}
+	case DanglingTeleport:
+		if tele != nil {
+			if k.baseVec == nil {
+				sweep = k.sweepConstTele
+			} else {
+				sweep = k.sweepVecTele
+			}
+			break
+		}
+		fallthrough
+	case DanglingUniform:
+		shareBased = true
+		if k.baseVec == nil {
+			sweep = k.sweepConstShare
+		} else {
+			sweep = k.sweepVecShare
+		}
+	}
+	danglingTele := opts.Dangling == DanglingTeleport && tele != nil
 
 	cur := make([]float64, n)
 	next := make([]float64, n)
+	curS := make([]float64, n)
+	nextS := make([]float64, n)
 	init := total / float64(n)
+	ndang := 0
 	for i := range cur {
 		cur[i] = init
+		curS[i] = init * invOut[i]
+		if outDegs[i] == 0 {
+			ndang++
+		}
 	}
+	k.cur, k.next = cur, next
+	k.curS, k.nextS = curS, nextS
+
+	// sumCur, the dangling mass and the scaled vector curS are carried
+	// across iterations (each sweep produces the next iteration's values as
+	// fused reductions). The uniform start vector has closed-form sums;
+	// recompute is needed only after an extrapolation step mutates cur.
+	recompute := func() (sum, dmass float64) {
+		for i, v := range cur {
+			sum += v
+			curS[i] = v * invOut[i]
+			if outDegs[i] == 0 {
+				dmass += v
+			}
+		}
+		return sum, dmass
+	}
+	sumCur, dmass := init*float64(n), init*float64(ndang)
 
 	var prev1, prev2 []float64
 	if opts.Extrapolate {
@@ -197,65 +559,38 @@ func Compute(c *graph.CSR, opts Options) (*Result, error) {
 
 	pool := newWorkerPool(opts.Workers, n)
 	defer pool.close()
+	k.partSum = make([]float64, pool.nc)
+	k.partDang = make([]float64, pool.nc)
+	k.partDelta = make([]float64, pool.nc)
 
 	res := &Result{}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		// Mass sitting on dangling pages this round.
-		dmass := 0.0
-		for _, d := range danglings {
-			dmass += cur[d]
+		if shareBased {
+			k.share = dmass / float64(n)
+		} else if danglingTele {
+			k.dmass = dmass
 		}
 
-		var dangAdd func(i int) float64
-		switch opts.Dangling {
-		case DanglingUniform:
-			share := dmass / float64(n)
-			dangAdd = func(int) float64 { return share }
-		case DanglingSelf:
-			dangAdd = func(i int) float64 {
-				if c.OutDegree(graph.NodeID(i)) == 0 {
-					return cur[i]
-				}
-				return 0
-			}
-		case DanglingTeleport:
-			if tele == nil {
-				share := dmass / float64(n)
-				dangAdd = func(int) float64 { return share }
-			} else {
-				dangAdd = func(i int) float64 { return dmass * tele[i] }
-			}
-		default:
-			return nil, fmt.Errorf("%w: unknown dangling policy %d", ErrBadOptions, opts.Dangling)
-		}
+		// One parallel sweep computes next and, fused into the same pass,
+		// the per-chunk next-sum and next-dangling-mass partials.
+		pool.run(sweep)
+		sumNext := sumChunks(k.partSum)
+		dmassNext := sumChunks(k.partDang)
 
-		pool.run(func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				sum := dangAdd(i)
-				for _, j := range c.In(graph.NodeID(i)) {
-					sum += cur[j] / float64(c.OutDegree(j))
-				}
-				next[i] = base(i) + follow*sum
-			}
-		})
+		// Second parallel pass: L1 delta on the sum-1 normalised vectors.
+		k.invSumCur = 1 / sumCur
+		k.invSumNext = 1 / sumNext
+		pool.run(k.sweepDelta)
+		delta := sumChunks(k.partDelta)
 
-		// L1 delta on the sum-1 normalised vectors.
-		sumNext := 0.0
-		for _, v := range next {
-			sumNext += v
-		}
-		delta := 0.0
-		sumCur := 0.0
-		for _, v := range cur {
-			sumCur += v
-		}
-		for i := range next {
-			delta += math.Abs(next[i]/sumNext - cur[i]/sumCur)
-		}
 		res.Iterations = iter
 		res.Delta = delta
 
 		cur, next = next, cur
+		curS, nextS = nextS, curS
+		k.cur, k.next = cur, next
+		k.curS, k.nextS = curS, nextS
+		sumCur, dmass = sumNext, dmassNext
 		if delta < opts.Tol {
 			res.Converged = true
 			break
@@ -263,6 +598,7 @@ func Compute(c *graph.CSR, opts Options) (*Result, error) {
 
 		if opts.Extrapolate && iter >= 3 && iter%opts.ExtrapolatePeriod == 0 {
 			aitken(cur, prev1, prev2)
+			sumCur, dmass = recompute()
 		}
 		if opts.Extrapolate {
 			prev2, prev1 = prev1, prev2
@@ -270,13 +606,10 @@ func Compute(c *graph.CSR, opts Options) (*Result, error) {
 		}
 	}
 
-	// Rescale to the variant's convention (sum = total).
-	sum := 0.0
-	for _, v := range cur {
-		sum += v
-	}
-	if sum > 0 {
-		scale := total / sum
+	// Rescale to the variant's convention (sum = total). sumCur is carried
+	// from the last sweep's fused reduction, so no extra pass is needed.
+	if sumCur > 0 {
+		scale := total / sumCur
 		for i := range cur {
 			cur[i] *= scale
 		}
@@ -302,34 +635,45 @@ func aitken(x2, x1, x0 []float64) {
 	}
 }
 
+// chunkSize is the number of nodes per parallel work unit. Chunk
+// boundaries depend only on the node count — never on the worker count —
+// so per-chunk floating-point reductions combine identically for every
+// parallelism degree, keeping Compute bitwise deterministic across
+// Workers settings.
+const chunkSize = 2048
+
+func numChunks(n int) int { return (n + chunkSize - 1) / chunkSize }
+
 // workerPool amortises goroutine startup across power iterations. Each
-// call to run splits [0,n) into one contiguous range per worker and blocks
-// until every range has been processed.
+// call to run splits [0,n) into fixed-size chunks that idle workers pull
+// until all are processed.
 type workerPool struct {
 	workers int
-	n       int
-	work    chan poolTask
+	n, nc   int
+	work    chan chunkTask
 	wg      sync.WaitGroup
 }
 
-type poolTask struct {
-	fn     func(lo, hi int)
-	lo, hi int
+type chunkTask struct {
+	fn            func(chunk, lo, hi int)
+	chunk, lo, hi int
 }
 
 func newWorkerPool(workers, n int) *workerPool {
-	if workers > n {
-		workers = max(1, n)
+	nc := numChunks(n)
+	if workers > nc {
+		workers = max(1, nc)
 	}
 	p := &workerPool{
 		workers: workers,
 		n:       n,
-		work:    make(chan poolTask, workers),
+		nc:      nc,
+		work:    make(chan chunkTask, nc),
 	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			for t := range p.work {
-				t.fn(t.lo, t.hi)
+				t.fn(t.chunk, t.lo, t.hi)
 				p.wg.Done()
 			}
 		}()
@@ -337,11 +681,13 @@ func newWorkerPool(workers, n int) *workerPool {
 	return p
 }
 
-// run executes fn over a partition of [0,n) and waits for completion.
-func (p *workerPool) run(fn func(lo, hi int)) {
-	p.wg.Add(p.workers)
-	for w := 0; w < p.workers; w++ {
-		p.work <- poolTask{fn: fn, lo: w * p.n / p.workers, hi: (w + 1) * p.n / p.workers}
+// run executes fn over every chunk of [0,n) and waits for completion.
+func (p *workerPool) run(fn func(chunk, lo, hi int)) {
+	p.wg.Add(p.nc)
+	for c := 0; c < p.nc; c++ {
+		lo := c * chunkSize
+		hi := min(lo+chunkSize, p.n)
+		p.work <- chunkTask{fn: fn, chunk: c, lo: lo, hi: hi}
 	}
 	p.wg.Wait()
 }

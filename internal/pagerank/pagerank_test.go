@@ -2,8 +2,10 @@ package pagerank
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -217,14 +219,132 @@ func TestTeleportValidation(t *testing.T) {
 
 func TestOptionValidation(t *testing.T) {
 	c := cycle(4)
-	for _, o := range []Options{
-		{Jump: -0.5},
-		{Jump: 1.5},
-		{Tol: -1},
-		{MaxIter: -3},
+	for _, tc := range []struct {
+		name    string
+		opts    Options
+		wantErr bool
+	}{
+		{"negative jump", Options{Jump: -0.5}, true},
+		{"jump above one", Options{Jump: 1.5}, true},
+		{"negative tol", Options{Tol: -1}, true},
+		{"negative maxiter", Options{MaxIter: -3}, true},
+		{"unknown variant", Options{Variant: Variant(9)}, true},
+		{"unknown dangling", Options{Dangling: Dangling(9)}, true},
+		{"negative extrapolate period", Options{ExtrapolatePeriod: -1}, true},
+		{"negative period with extrapolation on", Options{Extrapolate: true, ExtrapolatePeriod: -10}, true},
+		{"defaults", Options{}, false},
+		{"explicit extrapolation period", Options{Extrapolate: true, ExtrapolatePeriod: 5}, false},
+		{"period without extrapolation", Options{ExtrapolatePeriod: 7}, false},
 	} {
-		if _, err := Compute(c, o); !errors.Is(err, ErrBadOptions) {
-			t.Fatalf("options %+v accepted", o)
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compute(c, tc.opts)
+			if tc.wantErr && !errors.Is(err, ErrBadOptions) {
+				t.Fatalf("options %+v accepted (err=%v)", tc.opts, err)
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("options %+v rejected: %v", tc.opts, err)
+			}
+		})
+	}
+}
+
+// danglyGraph is a preferential-attachment graph with extra guaranteed
+// dangling nodes (in-links only), so every dangling policy has mass to
+// redistribute.
+func danglyGraph(t testing.TB, nodes, extraDangling int, seed int64) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.GeneratePreferentialAttachment(
+		graph.PreferentialAttachmentConfig{Nodes: nodes, OutPerNode: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.AddNodes(extraDangling)
+	for i := 0; i < extraDangling; i++ {
+		g.AddLink(graph.NodeID(rng.Intn(nodes)), first+graph.NodeID(i))
+	}
+	return graph.Freeze(g)
+}
+
+// normalized returns v scaled to sum 1, so vectors from different
+// variants compare on one scale.
+func normalized(v []float64) []float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x / sum
+	}
+	return out
+}
+
+// TestKernelsMatchReference checks every specialised kernel against the
+// retained naive implementation: for all Variant × Dangling × Teleport
+// combinations the converged sum-1 vectors must agree to 1e-12.
+func TestKernelsMatchReference(t *testing.T) {
+	c := danglyGraph(t, 2000, 60, 7)
+	n := c.NumNodes()
+	tele := make([]float64, n)
+	for i := range tele {
+		tele[i] = float64(i%17) + 1
+	}
+	for _, variant := range []Variant{VariantPaper, VariantStandard} {
+		for _, dang := range []Dangling{DanglingUniform, DanglingSelf, DanglingTeleport} {
+			for _, tv := range [][]float64{nil, tele} {
+				name := fmt.Sprintf("variant=%d/dangling=%d/teleport=%v", variant, dang, tv != nil)
+				t.Run(name, func(t *testing.T) {
+					opts := Options{
+						Variant: variant, Dangling: dang, Teleport: tv,
+						Tol: 1e-13, MaxIter: 1000,
+					}
+					fast, err := Compute(c, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref, err := ComputeReference(c, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !fast.Converged || !ref.Converged {
+						t.Fatalf("convergence: fast=%v ref=%v", fast.Converged, ref.Converged)
+					}
+					if d := maxAbsDiff(normalized(fast.Rank), normalized(ref.Rank)); d > 1e-12 {
+						t.Fatalf("kernel diverges from reference by %g", d)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestComputeDeterministicAcrossWorkers exercises the chunked worker pool
+// (run it under -race) and checks the guarantee that parallelism never
+// changes the result: the per-chunk reductions combine identically for
+// every Workers setting, so the ranks must match bitwise and the
+// iteration counts exactly.
+func TestComputeDeterministicAcrossWorkers(t *testing.T) {
+	c := danglyGraph(t, 5000, 100, 11)
+	workerSets := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var baseline *Result
+	for _, w := range workerSets {
+		res, err := Compute(c, Options{Workers: w, Tol: 1e-11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if res.Iterations != baseline.Iterations {
+			t.Fatalf("workers=%d: %d iterations, want %d", w, res.Iterations, baseline.Iterations)
+		}
+		for i := range res.Rank {
+			if res.Rank[i] != baseline.Rank[i] {
+				t.Fatalf("workers=%d: rank[%d] = %g differs from workers=%d value %g",
+					w, i, res.Rank[i], workerSets[0], baseline.Rank[i])
+			}
 		}
 	}
 }

@@ -1,0 +1,198 @@
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pagequality/internal/graph"
+)
+
+// ComputeReference is the retained naive PageRank implementation: the
+// closure-based kernel with a float division per edge and separate
+// full-vector passes for the dangling-mass, vector-sum and delta
+// bookkeeping that Compute replaced. It is kept verbatim as the
+// correctness oracle for the specialised kernels (see
+// TestKernelsMatchReference) and as the "before" side of
+// BenchmarkPageRankKernel. It accepts the same Options and converges to
+// the same fixed point as Compute.
+func ComputeReference(c *graph.CSR, opts Options) (*Result, error) {
+	n := c.NumNodes()
+	if err := opts.fill(n); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return &Result{Rank: nil, Converged: true}, nil
+	}
+
+	tele := normalizeTeleport(opts.Teleport)
+	danglings := c.Danglings()
+
+	// Base (per-node constant) and scale depend on the variant. Both
+	// variants share one iteration kernel operating on an arbitrary-scale
+	// vector; convergence is measured after scaling to sum 1.
+	var base func(i int) float64
+	follow := 1 - opts.Jump
+	total := 1.0
+	switch opts.Variant {
+	case VariantPaper:
+		total = float64(n)
+		base = func(int) float64 { return opts.Jump }
+	case VariantStandard:
+		if tele == nil {
+			b := opts.Jump / float64(n)
+			base = func(int) float64 { return b }
+		} else {
+			base = func(i int) float64 { return opts.Jump * tele[i] }
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown variant %d", ErrBadOptions, opts.Variant)
+	}
+
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	init := total / float64(n)
+	for i := range cur {
+		cur[i] = init
+	}
+
+	var prev1, prev2 []float64
+	if opts.Extrapolate {
+		prev1 = make([]float64, n)
+		prev2 = make([]float64, n)
+	}
+
+	pool := newRangePool(opts.Workers, n)
+	defer pool.close()
+
+	res := &Result{}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// Mass sitting on dangling pages this round.
+		dmass := 0.0
+		for _, d := range danglings {
+			dmass += cur[d]
+		}
+
+		var dangAdd func(i int) float64
+		switch opts.Dangling {
+		case DanglingUniform:
+			share := dmass / float64(n)
+			dangAdd = func(int) float64 { return share }
+		case DanglingSelf:
+			dangAdd = func(i int) float64 {
+				if c.OutDegree(graph.NodeID(i)) == 0 {
+					return cur[i]
+				}
+				return 0
+			}
+		case DanglingTeleport:
+			if tele == nil {
+				share := dmass / float64(n)
+				dangAdd = func(int) float64 { return share }
+			} else {
+				dangAdd = func(i int) float64 { return dmass * tele[i] }
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown dangling policy %d", ErrBadOptions, opts.Dangling)
+		}
+
+		pool.run(func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum := dangAdd(i)
+				for _, j := range c.In(graph.NodeID(i)) {
+					sum += cur[j] / float64(c.OutDegree(j))
+				}
+				next[i] = base(i) + follow*sum
+			}
+		})
+
+		// L1 delta on the sum-1 normalised vectors.
+		sumNext := 0.0
+		for _, v := range next {
+			sumNext += v
+		}
+		delta := 0.0
+		sumCur := 0.0
+		for _, v := range cur {
+			sumCur += v
+		}
+		for i := range next {
+			delta += math.Abs(next[i]/sumNext - cur[i]/sumCur)
+		}
+		res.Iterations = iter
+		res.Delta = delta
+
+		cur, next = next, cur
+		if delta < opts.Tol {
+			res.Converged = true
+			break
+		}
+
+		if opts.Extrapolate && iter >= 3 && iter%opts.ExtrapolatePeriod == 0 {
+			aitken(cur, prev1, prev2)
+		}
+		if opts.Extrapolate {
+			prev2, prev1 = prev1, prev2
+			copy(prev1, cur)
+		}
+	}
+
+	// Rescale to the variant's convention (sum = total).
+	sum := 0.0
+	for _, v := range cur {
+		sum += v
+	}
+	if sum > 0 {
+		scale := total / sum
+		for i := range cur {
+			cur[i] *= scale
+		}
+	}
+	res.Rank = cur
+	return res, nil
+}
+
+// rangePool is the pre-rewrite worker pool retained for ComputeReference:
+// one contiguous range per worker, no per-chunk reductions.
+type rangePool struct {
+	workers int
+	n       int
+	work    chan rangeTask
+	wg      sync.WaitGroup
+}
+
+type rangeTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+}
+
+func newRangePool(workers, n int) *rangePool {
+	if workers > n {
+		workers = max(1, n)
+	}
+	p := &rangePool{
+		workers: workers,
+		n:       n,
+		work:    make(chan rangeTask, workers),
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range p.work {
+				t.fn(t.lo, t.hi)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn over a partition of [0,n) and waits for completion.
+func (p *rangePool) run(fn func(lo, hi int)) {
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.work <- rangeTask{fn: fn, lo: w * p.n / p.workers, hi: (w + 1) * p.n / p.workers}
+	}
+	p.wg.Wait()
+}
+
+func (p *rangePool) close() { close(p.work) }

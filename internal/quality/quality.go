@@ -26,16 +26,23 @@ type Class uint8
 const (
 	// ClassStable: the popularity changed by at most MinChangeFrac between
 	// the first and last estimation snapshots. The estimator equals the
-	// current popularity.
+	// current popularity. A page whose popularity is zero in every
+	// snapshot is stable.
 	ClassStable Class = iota
 	// ClassIncreasing: strictly increasing across every consecutive pair
-	// of snapshots (the paper's PR(t1) < PR(t2) < PR(t3) pages).
+	// of snapshots (the paper's PR(t1) < PR(t2) < PR(t3) pages). Pages
+	// born during the estimation window — popularity 0 at t1 and positive
+	// at the last snapshot, the paper's motivating rising stars — are also
+	// ClassIncreasing provided the series never decreases; their trend is
+	// measured from the first positive snapshot (the relative increase
+	// over a zero baseline is undefined).
 	ClassIncreasing
 	// ClassDecreasing: strictly decreasing across every pair — the §9.1
 	// pages the base model cannot produce but forgetting can.
 	ClassDecreasing
-	// ClassFluctuating: went up and down; the paper sets I(p,t) = 0 for
-	// these, so the estimate is the current popularity.
+	// ClassFluctuating: went up and down (including pages that were born
+	// and died back to zero within the window); the paper sets I(p,t) = 0
+	// for these, so the estimate is the current popularity.
 	ClassFluctuating
 )
 
@@ -58,6 +65,10 @@ type Config struct {
 	// C is the constant of Equation 1 weighting the relative popularity
 	// increase against the current popularity. The paper used 0.1 and
 	// found the result insensitive to small variations (§8.2, footnote 6).
+	// C = 0 is valid and means the estimator degenerates to the current
+	// popularity (the pure-popularity baseline, the C → 0 endpoint of the
+	// ablation sweep); defaults are routed only through DefaultConfig,
+	// never applied implicitly.
 	C float64
 	// MinChangeFrac is the relative-change threshold below which a page is
 	// classified stable. The paper reports results only for pages whose
@@ -87,10 +98,10 @@ func DefaultConfig() Config {
 // ErrBadInput reports invalid estimator input.
 var ErrBadInput = errors.New("quality: bad input")
 
+// fill validates the configuration. It deliberately applies no defaults:
+// a caller's explicit C = 0 (the pure-popularity baseline) must survive
+// untouched — use DefaultConfig for the paper's settings.
 func (c *Config) fill() error {
-	if c.C == 0 {
-		c.C = 0.1
-	}
 	if c.C < 0 {
 		return fmt.Errorf("%w: C=%g", ErrBadInput, c.C)
 	}
@@ -123,7 +134,11 @@ type Result struct {
 // ranks[k][i] is the popularity (PageRank, in-degree, traffic, …) of page
 // i at snapshot k. At least two snapshots are required; the paper used
 // three (t1..t3). All snapshots participate in trend classification; the
-// ΔPR term uses the first and last.
+// ΔPR term uses the first and last. Pages born during the window
+// (popularity 0 at the first snapshot, positive at the last) count as
+// changed and, when their series never decreases, as increasing, with the
+// trend measured from the first positive snapshot — see the Class
+// constants for the exact policy.
 func EstimateFromSeries(ranks [][]float64, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -152,6 +167,11 @@ func EstimateFromSeries(ranks [][]float64, cfg Config) (*Result, error) {
 		res.Counts[cls]++
 		if first > 0 {
 			res.Changed[i] = math.Abs(cur-first)/first > cfg.MinChangeFrac
+		} else {
+			// Born during the window: 0 → positive is always a change (the
+			// relative change over a zero baseline is unbounded), so rising
+			// stars stay in the evaluation set.
+			res.Changed[i] = cur > 0
 		}
 		if res.Changed[i] {
 			res.NumChanged++
@@ -160,7 +180,20 @@ func EstimateFromSeries(ranks [][]float64, cfg Config) (*Result, error) {
 		case cls == ClassIncreasing,
 			cls == ClassDecreasing && cfg.ApplyTrendToDecreasing:
 			// Q(p) = C · (PR(t3) - PR(t1))/PR(t1) + PR(t3)
-			trend := (cur - first) / first
+			base := first
+			if base == 0 {
+				// Born page (increasing from a zero baseline): measure the
+				// relative increase from its first positive snapshot. If
+				// only the last snapshot is positive the trend is zero and
+				// Q degenerates to the current popularity.
+				for k := 1; k <= last; k++ {
+					if ranks[k][i] > 0 {
+						base = ranks[k][i]
+						break
+					}
+				}
+			}
+			trend := (cur - base) / base
 			if cfg.MaxTrend > 0 {
 				trend = math.Max(-cfg.MaxTrend, math.Min(cfg.MaxTrend, trend))
 			}
@@ -181,9 +214,25 @@ func classify(ranks [][]float64, i int, minChange float64) Class {
 	first := ranks[0][i]
 	last := ranks[len(ranks)-1][i]
 	if first <= 0 {
-		// No popularity baseline: treat as fluctuating (I cannot be
-		// measured), falling back to current popularity.
-		return ClassFluctuating
+		// No popularity baseline at t1. A page that ends at zero either
+		// never moved (stable) or rose and fell back (fluctuating). A page
+		// born during the window — the paper's rising stars — is
+		// increasing when its series never decreases, fluctuating
+		// otherwise.
+		if last <= 0 {
+			for k := 1; k < len(ranks); k++ {
+				if ranks[k][i] > 0 {
+					return ClassFluctuating
+				}
+			}
+			return ClassStable
+		}
+		for k := 1; k < len(ranks); k++ {
+			if ranks[k][i] < ranks[k-1][i] {
+				return ClassFluctuating
+			}
+		}
+		return ClassIncreasing
 	}
 	if math.Abs(last-first)/first <= minChange {
 		return ClassStable

@@ -131,20 +131,84 @@ func TestNegativeEstimateClamped(t *testing.T) {
 	}
 }
 
-func TestZeroBaselineIsFluctuating(t *testing.T) {
-	ranks := [][]float64{{0}, {1}, {2}}
+// TestRisingStarFromZeroBaseline is the regression test for the bug where
+// pages born between t1 and t3 — the paper's motivating rising stars,
+// whose popularity starts at 0 — were silently dropped from the
+// evaluation set (Changed was never set when ranks[0][i] == 0).
+func TestRisingStarFromZeroBaseline(t *testing.T) {
+	ranks := [][]float64{{0}, {0.2}, {0.4}}
 	res, err := EstimateFromSeries(ranks, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Class[0] != ClassFluctuating {
-		t.Fatalf("class = %v, want fluctuating fallback", res.Class[0])
+	if !res.Changed[0] || res.NumChanged != 1 {
+		t.Fatal("rising star born during the window not flagged as changed")
 	}
-	if res.Q[0] != 2 {
-		t.Fatalf("Q = %g, want 2", res.Q[0])
+	if res.Class[0] != ClassIncreasing {
+		t.Fatalf("class = %v, want increasing", res.Class[0])
 	}
-	if res.Changed[0] {
-		t.Fatal("page with zero baseline flagged as changed")
+	// Trend is measured from the first positive snapshot (0.2):
+	// Q = 0.1·(0.4-0.2)/0.2 + 0.4 = 0.5.
+	if math.Abs(res.Q[0]-0.5) > 1e-12 {
+		t.Fatalf("Q = %g, want 0.5", res.Q[0])
+	}
+}
+
+func TestZeroBaselineEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		series      []float64
+		wantClass   Class
+		wantChanged bool
+		wantQ       float64
+	}{
+		// Only the last snapshot is positive: trend 0, Q = current.
+		{"born at the end", []float64{0, 0, 0.4}, ClassIncreasing, true, 0.4},
+		// Leading zeros then growth: non-decreasing, still increasing.
+		{"late bloomer", []float64{0, 0, 0.2, 0.4}, ClassIncreasing, true, 0.5},
+		// Born then died back to zero: fluctuating, net change zero.
+		{"born and died", []float64{0, 1, 0}, ClassFluctuating, false, 0},
+		// Born then declined but still positive: fluctuating, changed.
+		{"born then declined", []float64{0, 0.4, 0.2}, ClassFluctuating, true, 0.2},
+		// Never any popularity: stable, nothing to evaluate.
+		{"all zero", []float64{0, 0, 0}, ClassStable, false, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ranks := make([][]float64, len(tc.series))
+			for k, v := range tc.series {
+				ranks[k] = []float64{v}
+			}
+			res, err := EstimateFromSeries(ranks, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Class[0] != tc.wantClass {
+				t.Fatalf("class = %v, want %v", res.Class[0], tc.wantClass)
+			}
+			if res.Changed[0] != tc.wantChanged {
+				t.Fatalf("changed = %v, want %v", res.Changed[0], tc.wantChanged)
+			}
+			if math.Abs(res.Q[0]-tc.wantQ) > 1e-12 {
+				t.Fatalf("Q = %g, want %g", res.Q[0], tc.wantQ)
+			}
+		})
+	}
+}
+
+// TestExplicitZeroCIsPurePopularity guards the C = 0 endpoint of Ablation
+// A: an explicit C of zero must survive fill (not be rewritten to the 0.1
+// default) so the estimator degenerates to the current popularity exactly.
+func TestExplicitZeroCIsPurePopularity(t *testing.T) {
+	ranks := [][]float64{{1.0}, {1.2}, {1.5}}
+	res, err := EstimateFromSeries(ranks, Config{C: 0, MinChangeFrac: 0.05, ApplyTrendToDecreasing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class[0] != ClassIncreasing {
+		t.Fatalf("class = %v", res.Class[0])
+	}
+	if res.Q[0] != 1.5 {
+		t.Fatalf("Q = %g, want exactly the current popularity 1.5", res.Q[0])
 	}
 }
 

@@ -3,7 +3,9 @@ package snapshot
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"pagequality/internal/graph"
 	"pagequality/internal/pagerank"
@@ -22,6 +24,13 @@ type Aligned struct {
 	Labels []string
 	// Graphs[k] is snapshot k's subgraph induced by the common pages.
 	Graphs []*graph.Graph
+
+	// frozen caches one CSR per aligned graph so PageRankSeries and
+	// InDegreeSeries (and repeated calls to either) stop re-freezing the
+	// same immutable graphs. Built lazily; Aligned must not be copied
+	// after first use.
+	frozenOnce sync.Once
+	frozen     []*graph.CSR
 }
 
 // ErrAlign reports snapshots that cannot be aligned.
@@ -40,14 +49,21 @@ func Align(snaps []Snapshot) (*Aligned, error) {
 				ErrAlign, snaps[k].Time, snaps[k-1].Time)
 		}
 	}
-	// Count URL occurrences across snapshots.
+	// Count URL occurrences across snapshots. The first graph may carry
+	// duplicate page URLs (SetPage can alias two nodes to one address);
+	// each URL must contribute exactly one aligned node, so dedupe here.
 	first := snaps[0].Graph
 	common := make([]string, 0, first.NumNodes())
+	seen := make(map[string]struct{}, first.NumNodes())
 	for i := 0; i < first.NumNodes(); i++ {
 		url := first.Page(graph.NodeID(i)).URL
 		if url == "" {
 			continue
 		}
+		if _, dup := seen[url]; dup {
+			continue
+		}
+		seen[url] = struct{}{}
 		inAll := true
 		for k := 1; k < len(snaps); k++ {
 			if _, ok := snaps[k].Graph.Lookup(url); !ok {
@@ -92,21 +108,74 @@ func (a *Aligned) NumPages() int { return len(a.URLs) }
 // NumSnapshots returns the number of snapshots in the series.
 func (a *Aligned) NumSnapshots() int { return len(a.Graphs) }
 
+// CSRs returns the frozen CSR view of every aligned graph, building and
+// caching them on first use. The aligned graphs are treated as immutable
+// once alignment has produced them; callers must not mutate them after
+// calling any series method. Safe for concurrent use.
+func (a *Aligned) CSRs() []*graph.CSR {
+	a.frozenOnce.Do(func() {
+		a.frozen = make([]*graph.CSR, len(a.Graphs))
+		var wg sync.WaitGroup
+		for k, g := range a.Graphs {
+			wg.Add(1)
+			go func(k int, g *graph.Graph) {
+				defer wg.Done()
+				a.frozen[k] = graph.Freeze(g)
+			}(k, g)
+		}
+		wg.Wait()
+	})
+	return a.frozen
+}
+
 // PageRankSeries computes the PageRank of every common page in every
 // snapshot with the given options, returning ranks[k][i] = PR of page i at
-// snapshot k.
+// snapshot k. Snapshots are computed concurrently, bounded by
+// opts.Workers (GOMAXPROCS when 0): the worker budget is split between
+// snapshot-level parallelism and the parallel sweeps inside each
+// pagerank.Compute call. Results are identical to the sequential order —
+// Compute itself is deterministic for every worker count.
 func (a *Aligned) PageRankSeries(opts pagerank.Options) ([][]float64, error) {
-	ranks := make([][]float64, len(a.Graphs))
-	for k, g := range a.Graphs {
-		res, err := pagerank.Compute(graph.Freeze(g), opts)
+	csrs := a.CSRs()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outer := min(workers, len(csrs))
+	if outer < 1 {
+		outer = 1
+	}
+	inner := opts
+	inner.Workers = max(1, workers/outer)
+
+	ranks := make([][]float64, len(csrs))
+	errs := make([]error, len(csrs))
+	sem := make(chan struct{}, outer)
+	var wg sync.WaitGroup
+	for k := range csrs {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := pagerank.Compute(csrs[k], inner)
+			if err != nil {
+				errs[k] = fmt.Errorf("snapshot %s: %w", a.Labels[k], err)
+				return
+			}
+			if !res.Converged {
+				errs[k] = fmt.Errorf("snapshot %s: PageRank did not converge (delta %g after %d iters)",
+					a.Labels[k], res.Delta, res.Iterations)
+				return
+			}
+			ranks[k] = res.Rank
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("snapshot %s: %w", a.Labels[k], err)
+			return nil, err
 		}
-		if !res.Converged {
-			return nil, fmt.Errorf("snapshot %s: PageRank did not converge (delta %g after %d iters)",
-				a.Labels[k], res.Delta, res.Iterations)
-		}
-		ranks[k] = res.Rank
 	}
 	return ranks, nil
 }
@@ -114,9 +183,10 @@ func (a *Aligned) PageRankSeries(opts pagerank.Options) ([][]float64, error) {
 // InDegreeSeries returns the in-degree of every common page in every
 // snapshot — the footnote-4 alternative popularity measure.
 func (a *Aligned) InDegreeSeries() [][]float64 {
-	out := make([][]float64, len(a.Graphs))
-	for k, g := range a.Graphs {
-		out[k] = pagerank.InDegree(graph.Freeze(g))
+	csrs := a.CSRs()
+	out := make([][]float64, len(csrs))
+	for k, c := range csrs {
+		out[k] = pagerank.InDegree(c)
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"pagequality/internal/graph"
@@ -197,6 +198,46 @@ func TestAlignErrors(t *testing.T) {
 	}
 }
 
+// TestAlignDuplicateURL is the regression test for duplicate URLs in the
+// first snapshot: SetPage can alias two nodes to one address, and Align
+// used to emit one aligned node per occurrence — the duplicates resolved
+// to the same page, double-counting its links.
+func TestAlignDuplicateURL(t *testing.T) {
+	mk := func() *graph.Graph {
+		g := graph.New(3)
+		g.MustAddPage(graph.Page{URL: "a"})
+		g.MustAddPage(graph.Page{URL: "b"})
+		g.MustAddPage(graph.Page{URL: "c"})
+		g.AddLink(1, 0)
+		g.AddLink(2, 0)
+		return g
+	}
+	dup := mk()
+	dup.SetPage(2, graph.Page{URL: "a"}) // nodes 0 and 2 now both claim "a"
+	snaps := []Snapshot{
+		{Label: "t1", Time: 0, Graph: dup},
+		{Label: "t2", Time: 1, Graph: mk()},
+	}
+	al, err := Align(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.NumPages() != 2 {
+		t.Fatalf("aligned pages = %d (%v), want deduped [a b]", al.NumPages(), al.URLs)
+	}
+	if al.URLs[0] != "a" || al.URLs[1] != "b" {
+		t.Fatalf("URLs = %v, want [a b]", al.URLs)
+	}
+	for k, g := range al.Graphs {
+		if g.NumNodes() != 2 {
+			t.Fatalf("graph %d has %d nodes, want 2", k, g.NumNodes())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("graph %d invalid after dedupe: %v", k, err)
+		}
+	}
+}
+
 func TestPageRankSeries(t *testing.T) {
 	al, err := Align(alignFixture())
 	if err != nil {
@@ -221,6 +262,65 @@ func TestPageRankSeries(t *testing.T) {
 		}
 		if math.Abs(sum-3) > 1e-6 {
 			t.Fatalf("snapshot %d rank sum = %g", k, sum)
+		}
+	}
+}
+
+// TestPageRankSeriesParallelDeterministic runs the parallel snapshot
+// fan-out (run it under -race) and checks that the worker budget never
+// changes the result: series computed with Workers 1, 4 and GOMAXPROCS
+// must be bitwise identical, and concurrent series calls must share the
+// lazily built CSR cache safely.
+func TestPageRankSeriesParallelDeterministic(t *testing.T) {
+	// A wider series than alignFixture: ten snapshots over a growing graph.
+	mk := func(extra int) *graph.Graph {
+		g := graph.New(40)
+		for i := 0; i < 40; i++ {
+			g.MustAddPage(graph.Page{URL: fmt.Sprintf("p%02d", i)})
+		}
+		for i := 1; i < 40; i++ {
+			g.AddLink(graph.NodeID(i), graph.NodeID((i*7)%40))
+		}
+		for i := 0; i < extra; i++ {
+			g.AddLink(graph.NodeID(i%40), graph.NodeID((i*13+1)%40))
+		}
+		return g
+	}
+	var snaps []Snapshot
+	for k := 0; k < 10; k++ {
+		snaps = append(snaps, Snapshot{Label: fmt.Sprintf("t%d", k), Time: float64(k), Graph: mk(k * 5)})
+	}
+	al, err := Align(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent first use exercises the CSR-cache Once plus the parallel
+	// fan-out under the race detector.
+	results := make([][][]float64, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for w, workers := range []int{1, 4, 0} {
+		wg.Add(1)
+		go func(slot, workers int) {
+			defer wg.Done()
+			results[slot], errs[slot] = al.PageRankSeries(pagerank.Options{Workers: workers, Tol: 1e-11})
+		}(w, workers)
+	}
+	wg.Wait()
+	for slot, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+	}
+	for slot := 1; slot < 3; slot++ {
+		for k := range results[0] {
+			for i := range results[0][k] {
+				if results[slot][k][i] != results[0][k][i] {
+					t.Fatalf("worker setting %d: snapshot %d rank[%d] = %g differs from %g",
+						slot, k, i, results[slot][k][i], results[0][k][i])
+				}
+			}
 		}
 	}
 }
