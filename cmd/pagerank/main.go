@@ -112,6 +112,8 @@ func run(args []string, out io.Writer) error {
 }
 
 // argsortDesc returns indices sorted by descending score (stable on ties).
+//
+//pqlint:allow floateq exact-tie detection so equal scores fall through to the index tie-break
 func argsortDesc(score []float64) []int {
 	idx := make([]int, len(score))
 	for i := range idx {

@@ -96,8 +96,11 @@ func run(args []string, out io.Writer) error {
 			if !est.Changed[i] || future[i] == 0 {
 				continue
 			}
-			eq, _ := metrics.RelativeError(est.Q[i], future[i])
-			ep, _ := metrics.RelativeError(cur[i], future[i])
+			eq, errQ := metrics.RelativeError(est.Q[i], future[i])
+			ep, errP := metrics.RelativeError(cur[i], future[i])
+			if errQ != nil || errP != nil {
+				continue // zero truth; already filtered above, but stay safe
+			}
 			errsQ = append(errsQ, eq)
 			errsPR = append(errsPR, ep)
 		}

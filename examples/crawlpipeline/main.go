@@ -88,8 +88,11 @@ func main() {
 		if !est.Changed[i] || future[i] == 0 {
 			continue
 		}
-		q, _ := metrics.RelativeError(est.Q[i], future[i])
-		p, _ := metrics.RelativeError(ranks[2][i], future[i])
+		q, qErr := metrics.RelativeError(est.Q[i], future[i])
+		p, pErr := metrics.RelativeError(ranks[2][i], future[i])
+		if qErr != nil || pErr != nil {
+			continue // zero truth; already filtered above, but stay safe
+		}
 		errQ = append(errQ, q)
 		errPR = append(errPR, p)
 	}

@@ -1,0 +1,260 @@
+// Package analysis is a stdlib-only static-analysis driver enforcing the
+// repo's determinism invariants: no package-level math/rand in library
+// code, no nondeterministic map-iteration leaks into ordered output, no
+// bare float equality outside documented tie handling, and no silently
+// discarded errors or dead assignments. The rules exist because the whole
+// experimental pipeline (webcorpus evolution → snapshots → ΔPR → Q(p)) is
+// only reproducible while every stochastic component is explicitly seeded
+// and every ordered output is explicitly ordered; see DESIGN.md
+// "Determinism invariants and pqlint".
+//
+// Intentional exceptions are suppressed in source with a directive:
+//
+//	//pqlint:allow <rule> <reason>
+//
+// placed on the flagged line, on the line immediately above it, or in the
+// doc comment of the enclosing top-level declaration (which suppresses the
+// rule for the whole declaration). The reason is mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding from one analyzer, positioned in the
+// original source.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+	// Suppressed is true when a //pqlint:allow directive covers the
+	// finding; Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Rule, d.Message)
+}
+
+// A Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(token.Pos, string, string)
+}
+
+// Reportf records a diagnostic for rule at pos.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	p.report(pos, rule, fmt.Sprintf(format, args...))
+}
+
+// An Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full rule suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		GlobalRandAnalyzer,
+		DetRangeAnalyzer,
+		FloatEqAnalyzer,
+		DroppedErrAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the names of the full suite, for -rules validation.
+func AnalyzerNames() []string {
+	all := Analyzers()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// DirectivePrefix is the comment prefix of a suppression directive.
+const DirectivePrefix = "//pqlint:allow"
+
+// directiveRule is the pseudo-rule under which malformed suppression
+// directives are reported.
+const directiveRule = "directive"
+
+// allowSite is one parsed //pqlint:allow directive.
+type allowSite struct {
+	rule   string
+	reason string
+	used   bool
+}
+
+// suppressions indexes the allow directives of one package.
+type suppressions struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> directives attached to that line.
+	byLine map[string]map[int][]*allowSite
+	// byDecl maps directives found in a top-level declaration's doc
+	// comment to the declaration's position extent.
+	byDecl []declAllow
+}
+
+type declAllow struct {
+	file     string
+	from, to int // line range covered
+	site     *allowSite
+}
+
+// parseSuppressions scans the comments of files for allow directives,
+// reporting malformed ones through report.
+func parseSuppressions(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, rule, format string, args ...any)) *suppressions {
+	s := &suppressions{fset: fset, byLine: make(map[string]map[int][]*allowSite)}
+	for _, f := range files {
+		// Doc-comment directives cover their whole declaration.
+		docEnd := make(map[*ast.CommentGroup][2]token.Pos) // doc group -> decl extent
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					docEnd[d.Doc] = [2]token.Pos{d.Pos(), d.End()}
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					docEnd[d.Doc] = [2]token.Pos{d.Pos(), d.End()}
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //pqlint:allowfoo — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(c.Pos(), directiveRule,
+						"malformed directive: want //pqlint:allow <rule> <reason>")
+					continue
+				}
+				rule := fields[0]
+				if !knownRule(rule) {
+					report(c.Pos(), directiveRule,
+						"directive names unknown rule %q (known: %s)",
+						rule, strings.Join(AnalyzerNames(), ", "))
+					continue
+				}
+				site := &allowSite{rule: rule, reason: strings.Join(fields[1:], " ")}
+				if ext, ok := docEnd[cg]; ok {
+					from := fset.Position(ext[0])
+					to := fset.Position(ext[1])
+					s.byDecl = append(s.byDecl, declAllow{
+						file: from.Filename, from: from.Line, to: to.Line, site: site,
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if s.byLine[pos.Filename] == nil {
+					s.byLine[pos.Filename] = make(map[int][]*allowSite)
+				}
+				s.byLine[pos.Filename][pos.Line] = append(s.byLine[pos.Filename][pos.Line], site)
+			}
+		}
+	}
+	return s
+}
+
+// match returns the covering directive for a diagnostic of rule at pos,
+// or nil. Line directives cover their own line and the one below; decl
+// directives cover the declaration's line extent.
+func (s *suppressions) match(pos token.Position, rule string) *allowSite {
+	if lines := s.byLine[pos.Filename]; lines != nil {
+		for _, line := range [2]int{pos.Line, pos.Line - 1} {
+			for _, site := range lines[line] {
+				if site.rule == rule {
+					site.used = true
+					return site
+				}
+			}
+		}
+	}
+	for _, da := range s.byDecl {
+		if da.file == pos.Filename && da.from <= pos.Line && pos.Line <= da.to && da.site.rule == rule {
+			da.site.used = true
+			return da.site
+		}
+	}
+	return nil
+}
+
+func knownRule(name string) bool {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package and returns all
+// diagnostics (suppressed ones included, flagged) in deterministic
+// file/line/column/rule order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		report := func(pos token.Pos, rule, msg string) {
+			raw = append(raw, Diagnostic{
+				Pos:     pkg.Fset.Position(pos),
+				Rule:    rule,
+				Message: msg,
+			})
+		}
+		sup := parseSuppressions(pkg.Fset, pkg.Files,
+			func(pos token.Pos, rule, format string, args ...any) {
+				report(pos, rule, fmt.Sprintf(format, args...))
+			})
+		pass := &Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    report,
+		}
+		for _, a := range analyzers {
+			a.Run(pass)
+		}
+		for i := range raw {
+			if site := sup.match(raw[i].Pos, raw[i].Rule); site != nil {
+				raw[i].Suppressed = true
+				raw[i].Reason = site.reason
+			}
+		}
+		diags = append(diags, raw...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

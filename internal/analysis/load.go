@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked module package ready for
+// analysis. Type checking is best-effort: TypeErrors collects anything
+// the checker complained about (e.g. an import that could not be
+// resolved) without aborting the load, because the analyzers degrade
+// gracefully on partial type information.
+type Package struct {
+	Path       string // import path
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// chainImporter resolves module-local imports from the packages already
+// checked in this load and everything else (the stdlib — the module has
+// no external dependencies) from source. Unresolvable imports yield an
+// empty placeholder package instead of failing the whole load.
+type chainImporter struct {
+	modulePath string
+	local      map[string]*types.Package
+	std        types.Importer
+	failed     map[string]*types.Package
+}
+
+func (im *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.local[path]; ok {
+		return p, nil
+	}
+	if p, ok := im.failed[path]; ok {
+		return p, nil
+	}
+	p, err := im.std.Import(path)
+	if err != nil || p == nil {
+		name := path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		fake := types.NewPackage(path, name)
+		fake.MarkComplete()
+		im.failed[path] = fake
+		return fake, nil
+	}
+	return p, nil
+}
+
+// newStdImporter builds the source importer used for stdlib packages.
+// CGO is forced off first so packages like net type-check from their
+// pure-Go fallback files instead of invoking a C toolchain.
+func newStdImporter(fset *token.FileSet) types.Importer {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// ModulePath reads the module path from the go.mod at root.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (the module root), skipping testdata and hidden directories. Packages
+// come back in dependency (topological) order.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	root, err = filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+
+	// Discover directories holding non-test Go files.
+	type rawPkg struct {
+		path  string
+		dir   string
+		files []string
+	}
+	var raws []rawPkg
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var files []string
+		for _, e := range ents {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+				continue
+			}
+			files = append(files, filepath.Join(path, n))
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		raws = append(raws, rawPkg{path: imp, dir: path, files: files})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walk %s: %w", root, err)
+	}
+	sort.Slice(raws, func(i, j int) bool { return raws[i].path < raws[j].path })
+
+	// Parse everything into one FileSet so positions and the stdlib
+	// importer agree.
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File, len(raws))
+	imports := make(map[string][]string, len(raws))
+	index := make(map[string]rawPkg, len(raws))
+	for _, rp := range raws {
+		index[rp.path] = rp
+		for _, fname := range rp.files {
+			f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			parsed[rp.path] = append(parsed[rp.path], f)
+			for _, spec := range f.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					imports[rp.path] = append(imports[rp.path], ip)
+				}
+			}
+		}
+	}
+
+	// Topologically order by intra-module imports.
+	order, err := topoSort(parsed, imports)
+	if err != nil {
+		return nil, err
+	}
+
+	im := &chainImporter{
+		modulePath: modPath,
+		local:      make(map[string]*types.Package),
+		std:        newStdImporter(fset),
+		failed:     make(map[string]*types.Package),
+	}
+	var pkgs []*Package
+	for _, path := range order {
+		pkg := checkPackage(fset, path, parsed[path], im)
+		pkg.Dir = index[path].dir
+		im.local[path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path, resolving stdlib imports from source. Used by the
+// analyzer test harness on testdata packages.
+func LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	im := &chainImporter{
+		local:  make(map[string]*types.Package),
+		std:    newStdImporter(fset),
+		failed: make(map[string]*types.Package),
+	}
+	pkg := checkPackage(fset, importPath, files, im)
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+func checkPackage(fset *token.FileSet, path string, files []*ast.File, im types.Importer) *Package {
+	pkg := &Package{
+		Path:  path,
+		Fset:  fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: im,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never returns a useful error beyond what Error collected,
+	// and a partially checked package is still analyzable.
+	tp, _ := conf.Check(path, fset, files, pkg.Info) //pqlint:allow droppederr the same error is collected via conf.Error into pkg.TypeErrors
+	pkg.Types = tp
+	return pkg
+}
+
+// topoSort orders packages so every intra-module import precedes its
+// importer.
+func topoSort(parsed map[string][]*ast.File, imports map[string][]string) ([]string, error) {
+	paths := make([]string, 0, len(parsed))
+	for p := range parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(paths))
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		}
+		state[p] = grey
+		deps := append([]string(nil), imports[p]...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := parsed[d]; !ok {
+				continue
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[p] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

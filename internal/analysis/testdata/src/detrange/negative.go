@@ -1,0 +1,43 @@
+package detrangecase
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// collectSorted is the canonical pattern: gather keys, then sort.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perKey writes once per key, so iteration order cannot matter.
+func perKey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k := range m {
+		out[k] = m[k] * 2
+		out[k] += 1 // per-key accumulate: one visit per key
+	}
+	return out
+}
+
+// intCount accumulates integers, which commute exactly.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// emitSorted iterates sorted keys before writing.
+func emitSorted(w io.Writer, m map[string]int) {
+	for _, k := range collectSorted(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

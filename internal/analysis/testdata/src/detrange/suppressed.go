@@ -1,0 +1,13 @@
+package detrangecase
+
+// anyKey intentionally takes whichever key comes first; order is
+// irrelevant because any element will do.
+func anyKey(m map[string]int) []string {
+	var got []string
+	for k := range m {
+		//pqlint:allow detrange any single key works; result is truncated to one element
+		got = append(got, k)
+		break
+	}
+	return got
+}

@@ -1,0 +1,31 @@
+package droppederrcase
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// handled deals with every error it sees.
+func handled(path, s string) (int, error) {
+	if err := os.Remove(path); err != nil {
+		return 0, fmt.Errorf("remove: %w", err)
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// commaOK forms are not calls and carry no error.
+func commaOK(m map[string]int, ch chan int) int {
+	v, _ := m["k"]
+	w, _ := <-ch
+	return v + w
+}
+
+// interfaceAssert is the compile-time conformance idiom (a declaration,
+// not an assignment statement).
+var _ io.Reader = (*os.File)(nil)

@@ -1,0 +1,18 @@
+package droppederrcase
+
+import (
+	"os"
+	"strconv"
+)
+
+// ignoreErrors discards errors in the two flagged shapes.
+func ignoreErrors(path, s string) int {
+	_ = os.Remove(path)     // want droppederr "error discarded with _"
+	n, _ := strconv.Atoi(s) // want droppederr "result 2 of strconv.Atoi is an error"
+	return n
+}
+
+// deadAssign keeps a placeholder alive to silence the compiler.
+func deadAssign(start int) {
+	_ = start // want droppederr "dead assignment"
+}

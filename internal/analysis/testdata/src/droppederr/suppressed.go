@@ -1,0 +1,9 @@
+package droppederrcase
+
+import "strings"
+
+// flush documents an intentional discard: strings.Builder's Write
+// methods are defined to never return a non-nil error.
+func flush(sb *strings.Builder, s string) {
+	_, _ = sb.WriteString(s) //pqlint:allow droppederr strings.Builder.WriteString never errors by contract
+}

@@ -1,0 +1,25 @@
+package floateqcase
+
+import "math"
+
+// sentinelChecks compare against constants: exact IEEE 754 values that
+// survive arithmetic unchanged, the sanctioned guard style.
+func sentinelChecks(x float64) bool {
+	if x == 0 {
+		return false
+	}
+	if x != 1.5 {
+		return true
+	}
+	return false
+}
+
+// tolerance is the sanctioned way to compare two computed floats.
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) < 1e-12
+}
+
+// intEq is not a float comparison at all.
+func intEq(a, b int) bool {
+	return a == b
+}

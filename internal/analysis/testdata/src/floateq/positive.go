@@ -1,0 +1,17 @@
+package floateqcase
+
+// converged compares two computed floats exactly — a rounding-sensitive
+// bug: the comparison depends on the bit pattern of each side.
+func converged(prev, next float64) bool {
+	return prev == next // want floateq "== between floating-point values"
+}
+
+// drifted is the negated form.
+func drifted(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] { // want floateq "!= between floating-point values"
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package floateqcase
+
+// tieGroups counts groups of exactly equal scores, the legitimate
+// exception class: ties are defined by exact equality.
+//
+//pqlint:allow floateq tie groups are exactly-equal scores by definition
+func tieGroups(xs []float64) int {
+	groups := 0
+	for i := 0; i < len(xs); {
+		j := i
+		for j < len(xs) && xs[j] == xs[i] {
+			j++
+		}
+		groups++
+		i = j
+	}
+	return groups
+}

@@ -1,0 +1,18 @@
+package globalrandcase
+
+import "math/rand"
+
+// drawInjected is the sanctioned shape: an explicitly seeded *rand.Rand
+// constructed once and threaded through.
+func drawInjected(n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n) + int(rng.Float64())
+}
+
+// useZipf exercises the constructor whitelist and a rand type reference.
+func useZipf(rng *rand.Rand) uint64 {
+	var src rand.Source = rand.NewSource(7)
+	_ = src.Int63()
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	return z.Uint64()
+}

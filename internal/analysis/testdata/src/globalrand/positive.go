@@ -1,0 +1,13 @@
+package globalrandcase
+
+import "math/rand"
+
+// draw leans on the process-global generator: unseeded, shared, and
+// invisible to the experiment configuration.
+func draw(n int) int {
+	rand.Seed(42)       // want globalrand "package-level rand.Seed"
+	x := rand.Intn(n)   // want globalrand "package-level rand.Intn"
+	y := rand.Float64() // want globalrand "package-level rand.Float64"
+	p := rand.Perm(n)   // want globalrand "package-level rand.Perm"
+	return x + int(y) + p[0]
+}

@@ -1,0 +1,9 @@
+package globalrandcase
+
+import "math/rand"
+
+// jitter documents a deliberate exception.
+func jitter() float64 {
+	//pqlint:allow globalrand deliberate: demo of a suppressed global draw
+	return rand.Float64()
+}

@@ -107,6 +107,8 @@ func RunRisingStars(cfg HeadlineConfig, maxAgeWeeks float64) (*RisingStarsResult
 
 // percentiles converts scores into rank percentiles in [0,1]: 1 means the
 // highest score (average rank over ties).
+//
+//pqlint:allow floateq tie groups are exactly-equal scores by definition
 func percentiles(scores []float64) []float64 {
 	n := len(scores)
 	idx := make([]int, n)

@@ -9,6 +9,8 @@ import (
 // KendallTau computes the Kendall rank correlation τ-b between two score
 // vectors in O(n log n) using a merge-sort inversion count, with the
 // standard tie corrections. τ = 1 means identical orderings, -1 reversed.
+//
+//pqlint:allow floateq τ-b tie corrections require detecting exactly equal scores; approximate ties would change the statistic
 func KendallTau(a, b []float64) (float64, error) {
 	n := len(a)
 	if n != len(b) {
@@ -138,6 +140,8 @@ func SpearmanRho(a, b []float64) (float64, error) {
 }
 
 // fractionalRanks assigns 1-based ranks, averaging over ties.
+//
+//pqlint:allow floateq tie groups are exactly-equal scores by definition
 func fractionalRanks(xs []float64) []float64 {
 	n := len(xs)
 	idx := make([]int, n)
@@ -201,6 +205,9 @@ func TopKOverlap(a, b []float64, k int) (float64, error) {
 	return float64(inter) / float64(k), nil
 }
 
+// topKSet selects the k highest-scoring indices.
+//
+//pqlint:allow floateq exact-tie detection so equal scores fall through to the index tie-break
 func topKSet(xs []float64, k int) map[int]bool {
 	idx := make([]int, len(xs))
 	for i := range idx {
@@ -222,6 +229,8 @@ func topKSet(xs []float64, k int) map[int]bool {
 // NDCG computes the normalised discounted cumulative gain at k of a
 // ranking (scores) against non-negative relevance grades: how well the
 // score ordering surfaces the truly relevant items near the top.
+//
+//pqlint:allow floateq exact-tie detection so equal scores fall through to the index tie-break
 func NDCG(scores, relevance []float64, k int) (float64, error) {
 	if len(scores) != len(relevance) {
 		return 0, fmt.Errorf("%w: length mismatch %d != %d", ErrBadInput, len(scores), len(relevance))

@@ -64,8 +64,13 @@ func FitLogistic(tr Trajectory, qMax float64) (LogisticFit, error) {
 		return LogisticFit{}, fmt.Errorf("%w: qMax %g not above max popularity %g", ErrBadParams, qMax, maxP)
 	}
 
-	// rss evaluates the profiled residual for a candidate plateau.
-	rss := func(q float64) (float64, float64, float64) { // rss, rate, p0
+	// eval evaluates one candidate plateau: the profiled residual plus
+	// the OLS rate and p0 it implies. Returning a struct keeps the
+	// golden-section loop from blank-discarding the parts it skips.
+	type profilePoint struct {
+		rss, rate, p0 float64
+	}
+	eval := func(q float64) profilePoint {
 		var sx, sy, sxx, sxy float64
 		for i := 0; i < m; i++ {
 			z := math.Log(q/tr.P[i] - 1)
@@ -77,7 +82,7 @@ func FitLogistic(tr Trajectory, qMax float64) (LogisticFit, error) {
 		k := float64(m)
 		den := k*sxx - sx*sx
 		if den == 0 {
-			return math.Inf(1), 0, 0
+			return profilePoint{rss: math.Inf(1)}
 		}
 		slope := (k*sxy - sx*sy) / den
 		inter := (sy - slope*sx) / k
@@ -91,7 +96,7 @@ func FitLogistic(tr Trajectory, qMax float64) (LogisticFit, error) {
 			d := pred - tr.P[i]
 			sum += d * d
 		}
-		return sum, rate, p0
+		return profilePoint{rss: sum, rate: rate, p0: p0}
 	}
 
 	// Golden-section search for the plateau on (maxP·(1+eps), qMax].
@@ -101,28 +106,28 @@ func FitLogistic(tr Trajectory, qMax float64) (LogisticFit, error) {
 	a, b := lo, hi
 	x1 := b - phi*(b-a)
 	x2 := a + phi*(b-a)
-	f1, _, _ := rss(x1)
-	f2, _, _ := rss(x2)
+	f1 := eval(x1).rss
+	f2 := eval(x2).rss
 	for iter := 0; iter < 200 && (b-a) > 1e-12*(1+b); iter++ {
 		if f1 < f2 {
 			b, x2, f2 = x2, x1, f1
 			x1 = b - phi*(b-a)
-			f1, _, _ = rss(x1)
+			f1 = eval(x1).rss
 		} else {
 			a, x1, f1 = x1, x2, f2
 			x2 = a + phi*(b-a)
-			f2, _, _ = rss(x2)
+			f2 = eval(x2).rss
 		}
 	}
 	q := (a + b) / 2
-	sum, rate, p0 := rss(q)
-	if math.IsInf(sum, 1) || math.IsNaN(sum) || rate <= 0 || p0 <= 0 {
+	best := eval(q)
+	if math.IsInf(best.rss, 1) || math.IsNaN(best.rss) || best.rate <= 0 || best.p0 <= 0 {
 		return LogisticFit{}, fmt.Errorf("%w: trajectory is not logistic-shaped", ErrBadParams)
 	}
 	return LogisticFit{
 		Q:    q,
-		Rate: rate,
-		P0:   p0,
-		RMSE: math.Sqrt(sum / float64(m)),
+		Rate: best.rate,
+		P0:   best.p0,
+		RMSE: math.Sqrt(best.rss / float64(m)),
 	}, nil
 }

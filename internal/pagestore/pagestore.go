@@ -167,7 +167,6 @@ const recMagic = 0xA7
 
 // appendRecord encodes a record into buf.
 func appendRecord(buf []byte, key string, meta Meta, compressed []byte) []byte {
-	start := len(buf)
 	buf = append(buf, recMagic)
 	payloadStart := len(buf)
 	buf = binary.AppendUvarint(buf, uint64(len(key)))
@@ -178,7 +177,6 @@ func appendRecord(buf []byte, key string, meta Meta, compressed []byte) []byte {
 	buf = append(buf, compressed...)
 	crc := crc32.ChecksumIEEE(buf[payloadStart:])
 	buf = binary.LittleEndian.AppendUint32(buf, crc)
-	_ = start
 	return buf
 }
 
@@ -346,7 +344,9 @@ func (s *Store) readAt(loc location) (Meta, []byte, error) {
 		return Meta{}, nil, err
 	}
 	r := bytes.NewReader(data[loc.offset:])
-	_, _ = r.ReadByte() // magic, already verified
+	if _, err := r.ReadByte(); err != nil { // skip magic, already verified
+		return Meta{}, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
 	_, meta, compressed, err := readRecord0(r)
 	if err != nil {
 		return Meta{}, nil, err

@@ -26,12 +26,11 @@ func (ix *Index) bm25Scores(terms []string) map[int32]float64 {
 	if avgLen == 0 {
 		return nil
 	}
-	qCounts := make(map[string]int, len(terms))
-	for _, t := range terms {
-		qCounts[t]++
-	}
+	// Sorted term order keeps the per-document float accumulation below
+	// bitwise reproducible; map order would perturb near-tie scores.
+	qCounts := queryCounts(terms)
 	scores := make(map[int32]float64)
-	for t := range qCounts {
+	for _, t := range sortedKeys(qCounts) {
 		plist := ix.postings[t]
 		if len(plist) == 0 {
 			continue

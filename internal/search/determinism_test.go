@@ -1,0 +1,121 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// synthDocs builds a corpus with enough vocabulary overlap that float
+// accumulation order is exercised hard: every doc shares terms with many
+// others, so norms and scores are sums of many differently-sized terms.
+func synthDocs(n int) []string {
+	docs := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := ""
+		for j := 0; j <= i%17; j++ {
+			s += fmt.Sprintf("term%d ", (i*7+j*13)%41)
+		}
+		docs[i] = s + fmt.Sprintf("unique%d shared common everywhere", i)
+	}
+	return docs
+}
+
+func buildIndex(docs []string) *Index {
+	ix := NewIndex()
+	ix.AddAll(docs)
+	return ix
+}
+
+// TestScoringDeterministic runs every scoring path twice — within one
+// index (two map iterations, differently randomized by the runtime) and
+// across two independently built indexes — and demands bitwise-identical
+// floats. This is the regression test for the map-iteration order leaks
+// pqlint's detrange rule found in ensureNorms, vectorScores and
+// bm25Scores: before sorting term iteration, these sums varied in their
+// low bits from run to run.
+func TestScoringDeterministic(t *testing.T) {
+	docs := synthDocs(120)
+	query := "term1 term2 term3 term5 term8 term13 term21 term34 shared common everywhere unique3"
+	terms := Tokenize(query)
+
+	a := buildIndex(docs)
+	b := buildIndex(docs)
+	a.ensureNorms()
+	b.ensureNorms()
+	for i := range a.norm {
+		if math.Float64bits(a.norm[i]) != math.Float64bits(b.norm[i]) {
+			t.Fatalf("norm[%d] differs across identical builds: %x vs %x",
+				i, a.norm[i], b.norm[i])
+		}
+	}
+
+	paths := []struct {
+		name  string
+		score func(*Index) map[int32]float64
+	}{
+		{"vector", func(ix *Index) map[int32]float64 { return ix.vectorScores(terms) }},
+		{"bm25", func(ix *Index) map[int32]float64 { return ix.bm25Scores(terms) }},
+	}
+	for _, p := range paths {
+		first := p.score(a)
+		if len(first) == 0 {
+			t.Fatalf("%s: query matched nothing; corpus broken", p.name)
+		}
+		for run := 0; run < 5; run++ {
+			for name, ix := range map[string]*Index{"same index": a, "rebuilt index": b} {
+				got := p.score(ix)
+				if len(got) != len(first) {
+					t.Fatalf("%s (%s run %d): %d docs scored, want %d",
+						p.name, name, run, len(got), len(first))
+				}
+				for d, s := range first {
+					if math.Float64bits(got[d]) != math.Float64bits(s) {
+						t.Fatalf("%s (%s run %d): doc %d score %x, want bitwise %x",
+							p.name, name, run, d, got[d], s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchDeterministic covers the public entry point end to end: the
+// full hit list (docs, scores, relevance) must be identical across
+// repeated calls and across rebuilt indexes.
+func TestSearchDeterministic(t *testing.T) {
+	docs := synthDocs(80)
+	auth := make([]float64, len(docs))
+	for i := range auth {
+		auth[i] = 1 / float64(i+1)
+	}
+	opts := Options{Mode: ModeBM25, TopK: 25, Authority: auth}
+
+	a := buildIndex(docs)
+	b := buildIndex(docs)
+	first, err := a.Search("shared common term3 term8", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("query matched nothing")
+	}
+	for run := 0; run < 5; run++ {
+		for name, ix := range map[string]*Index{"same index": a, "rebuilt index": b} {
+			got, err := ix.Search("shared common term3 term8", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(first) {
+				t.Fatalf("%s run %d: %d hits, want %d", name, run, len(got), len(first))
+			}
+			for i := range got {
+				if got[i].Doc != first[i].Doc ||
+					math.Float64bits(got[i].Score) != math.Float64bits(first[i].Score) ||
+					math.Float64bits(got[i].Relevance) != math.Float64bits(first[i].Relevance) {
+					t.Fatalf("%s run %d: hit %d = %+v, want %+v", name, run, i, got[i], first[i])
+				}
+			}
+		}
+	}
+}

@@ -95,14 +95,18 @@ func (ix *Index) idf(term string) float64 {
 }
 
 // ensureNorms computes per-document tf-idf L2 norms for cosine scoring.
+// Terms are visited in sorted order: each norm is a float sum over the
+// document's terms, and float addition is order-sensitive, so iterating
+// the postings map directly would make the norm bits (and potentially
+// near-tie rankings) vary run to run.
 func (ix *Index) ensureNorms() {
 	if !ix.dirty && ix.norm != nil {
 		return
 	}
 	ix.norm = make([]float64, len(ix.docLen))
-	for term, plist := range ix.postings {
+	for _, term := range ix.sortedVocab() {
 		w := ix.idf(term)
-		for _, p := range plist {
+		for _, p := range ix.postings[term] {
 			x := float64(p.tf) * w
 			ix.norm[p.doc] += x * x
 		}
@@ -237,6 +241,7 @@ func (ix *Index) Search(query string, opts Options) ([]Hit, error) {
 		hits = append(hits, h)
 	}
 	sort.Slice(hits, func(i, j int) bool {
+		//pqlint:allow floateq exact-tie detection so equal scores fall through to the doc-id tie-break
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score
 		}
@@ -248,21 +253,20 @@ func (ix *Index) Search(query string, opts Options) ([]Hit, error) {
 	return hits, nil
 }
 
-// vectorScores computes cosine(query, doc) over tf-idf weights.
+// vectorScores computes cosine(query, doc) over tf-idf weights. Query
+// terms are visited in sorted order so the float accumulations below are
+// bitwise reproducible (map order would perturb qNorm and each score).
 func (ix *Index) vectorScores(terms []string) map[int32]float64 {
 	ix.ensureNorms()
-	qCounts := make(map[string]int, len(terms))
-	for _, t := range terms {
-		qCounts[t]++
-	}
+	qCounts := queryCounts(terms)
 	scores := make(map[int32]float64)
 	qNorm := 0.0
-	for t, qc := range qCounts {
+	for _, t := range sortedKeys(qCounts) {
 		w := ix.idf(t)
 		if w == 0 {
 			continue
 		}
-		qw := float64(qc) * w
+		qw := float64(qCounts[t]) * w
 		qNorm += qw * qw
 		for _, p := range ix.postings[t] {
 			scores[p.doc] += qw * float64(p.tf) * w
@@ -301,4 +305,34 @@ func (ix *Index) booleanScores(terms []string, requireAll bool) map[int32]float6
 		scores[d] = float64(c)
 	}
 	return scores
+}
+
+// queryCounts tallies term frequencies of a tokenized query.
+func queryCounts(terms []string) map[string]int {
+	qCounts := make(map[string]int, len(terms))
+	for _, t := range terms {
+		qCounts[t]++
+	}
+	return qCounts
+}
+
+// sortedKeys returns the map's keys in sorted order, the iteration order
+// used wherever float scores are accumulated per term.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedVocab returns every indexed term in sorted order.
+func (ix *Index) sortedVocab() []string {
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
 }

@@ -54,9 +54,11 @@ func Line(w io.Writer, title string, series []Series, width, height int) error {
 	if points == 0 {
 		return fmt.Errorf("%w: no finite points", ErrBadPlot)
 	}
+	//pqlint:allow floateq a degenerate axis is exactly min==max after math.Min/Max folding; widen it by 1
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//pqlint:allow floateq a degenerate axis is exactly min==max after math.Min/Max folding; widen it by 1
 	if maxY == minY {
 		maxY = minY + 1
 	}
