@@ -195,6 +195,35 @@ func BenchmarkCorpusGrowth(b *testing.B) {
 	}
 }
 
+// BenchmarkCorpusTick times the two-phase tick kernel alone (no corpus
+// construction in the measured op) at workers=1 vs workers=max, on a
+// corpus large enough to span several draw chunks. Bitwise invariance
+// across the two settings is enforced by TestStepWorkerCountInvariance.
+func BenchmarkCorpusTick(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			cfg := webcorpus.DefaultConfig()
+			cfg.Sites = 154
+			cfg.BirthRate = 30
+			cfg.BurnInWeeks = 40
+			cfg.Seed = 1
+			cfg.Workers = bench.workers
+			sim, err := webcorpus.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+			}
+		})
+	}
+}
+
 // BenchmarkSnapshotEncodeDecode times store persistence of a four-crawl
 // series.
 func BenchmarkSnapshotEncodeDecode(b *testing.B) {

@@ -39,11 +39,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which  = fs.String("run", "all", "experiment id to run")
-		seed   = fs.Int64("seed", 1, "corpus seed")
-		sites  = fs.Int("sites", 154, "corpus sites")
-		quick  = fs.Bool("quick", false, "shrink the corpus for a fast run")
-		csvDir = fs.String("csv", "", "directory to also write figure data as CSV (created if missing)")
+		which   = fs.String("run", "all", "experiment id to run")
+		seed    = fs.Int64("seed", 1, "corpus seed")
+		sites   = fs.Int("sites", 154, "corpus sites")
+		quick   = fs.Bool("quick", false, "shrink the corpus for a fast run")
+		csvDir  = fs.String("csv", "", "directory to also write figure data as CSV (created if missing)")
+		workers = fs.Int("workers", 0, "corpus draw-phase workers (0 = GOMAXPROCS); results are identical at every setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +52,7 @@ func run(args []string, out io.Writer) error {
 	cfg := experiments.DefaultHeadlineConfig()
 	cfg.Corpus.Seed = *seed
 	cfg.Corpus.Sites = *sites
+	cfg.Corpus.Workers = *workers
 	if *quick {
 		cfg.Corpus.Sites = 30
 		cfg.Corpus.BirthRate = 6
@@ -84,7 +86,12 @@ func run(args []string, out io.Writer) error {
 			return nil
 		}
 		fmt.Fprintf(out, "\n================ %s ================\n", name)
-		return fn()
+		// Wall-clock timing goes to stderr only: stdout is the committed,
+		// deterministic experiments_output.txt.
+		start := time.Now()
+		err := fn()
+		fmt.Fprintf(os.Stderr, "experiments: %s took %s\n", name, time.Since(start).Round(time.Millisecond))
+		return err
 	}
 
 	steps := []struct {

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pagequality/internal/snapshot"
 	"pagequality/internal/webcorpus"
@@ -44,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		noise    = fs.Float64("noise", 0.01, "link-churn noise rate")
 		forget   = fs.Float64("forget", 0.01, "per-user forgetting rate per week")
 		schedule = fs.String("schedule", "0,4,8,26", "comma-separated crawl weeks")
+		workers  = fs.Int("workers", 0, "draw-phase workers (0 = GOMAXPROCS); results are identical at every setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	cfg.BirthRate = *birth
 	cfg.NoiseRate = *noise
 	cfg.ForgetRate = *forget
+	cfg.Workers = *workers
 
 	sched, err := parseSchedule(*schedule)
 	if err != nil {
@@ -67,16 +70,22 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "growing corpus: %d sites, %d users, burn-in %.0f weeks...\n",
 		cfg.Sites, cfg.Users, cfg.BurnInWeeks)
+	// Wall-clock timing goes to stderr so the deterministic report on
+	// stdout stays byte-stable across runs and machines.
+	start := time.Now()
 	sim, err := webcorpus.New(cfg)
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "websim: burn-in took %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(out, "corpus ready: %d pages, %d links at t=0\n", sim.NumPages(), sim.NumLinks())
 
+	start = time.Now()
 	snaps, err := sim.RunSchedule(sched)
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "websim: schedule took %s\n", time.Since(start).Round(time.Millisecond))
 	for _, s := range snaps {
 		fmt.Fprintf(out, "snapshot %-4s week %5.1f: %d pages, %d links\n",
 			s.Label, s.Time, s.Graph.NumNodes(), s.Graph.NumEdges())

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pagequality/internal/quality"
 	"pagequality/internal/snapshot"
@@ -103,13 +104,22 @@ func AblationForgetting(cfg HeadlineConfig, forgetRate, noiseRate float64) (*For
 		}
 		return est.Counts, nil
 	}
-	clean, err := runOnce(0, 0)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: clean run: %w", err)
+	// The two corpora are independent simulations; run them concurrently.
+	var clean, forg map[quality.Class]int
+	var cleanErr, forgErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		clean, cleanErr = runOnce(0, 0)
+	}()
+	forg, forgErr = runOnce(forgetRate, noiseRate)
+	wg.Wait()
+	if cleanErr != nil {
+		return nil, fmt.Errorf("experiments: clean run: %w", cleanErr)
 	}
-	forg, err := runOnce(forgetRate, noiseRate)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: forgetting run: %w", err)
+	if forgErr != nil {
+		return nil, fmt.Errorf("experiments: forgetting run: %w", forgErr)
 	}
 	return &ForgettingResult{ClassesClean: clean, ClassesForgetting: forg}, nil
 }
@@ -168,39 +178,54 @@ func AblationWindow(cfg HeadlineConfig, gaps []float64, futureWeek float64) ([]W
 	}
 	future := ranks[len(ranks)-1]
 
-	out := make([]WindowPoint, 0, len(gaps))
+	// Each window point reads only the shared rank series; evaluate the
+	// points concurrently and collect by index.
+	out := make([]WindowPoint, len(gaps))
+	errs := make([]error, len(gaps))
+	var wg sync.WaitGroup
 	for gi := range gaps {
-		series := [][]float64{ranks[0], ranks[gi+1]}
-		est, err := quality.EstimateFromSeries(series, cfg.Estimator)
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			series := [][]float64{ranks[0], ranks[gi+1]}
+			est, err := quality.EstimateFromSeries(series, cfg.Estimator)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			cur := ranks[gi+1]
+			// Split changed pages at the median current popularity.
+			var lowSum, highSum float64
+			var lowN, highN int
+			med := medianOf(cur)
+			for i := range est.Q {
+				if !est.Changed[i] || future[i] == 0 {
+					continue
+				}
+				e := abs((future[i] - est.Q[i]) / future[i])
+				if cur[i] <= med {
+					lowSum += e
+					lowN++
+				} else {
+					highSum += e
+					highN++
+				}
+			}
+			wp := WindowPoint{GapWeeks: gaps[gi]}
+			if lowN > 0 {
+				wp.AvgErrQLow = lowSum / float64(lowN)
+			}
+			if highN > 0 {
+				wp.AvgErrQHigh = highSum / float64(highN)
+			}
+			out[gi] = wp
+		}(gi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		cur := ranks[gi+1]
-		// Split changed pages at the median current popularity.
-		var lowSum, highSum float64
-		var lowN, highN int
-		med := medianOf(cur)
-		for i := range est.Q {
-			if !est.Changed[i] || future[i] == 0 {
-				continue
-			}
-			e := abs((future[i] - est.Q[i]) / future[i])
-			if cur[i] <= med {
-				lowSum += e
-				lowN++
-			} else {
-				highSum += e
-				highN++
-			}
-		}
-		wp := WindowPoint{GapWeeks: gaps[gi]}
-		if lowN > 0 {
-			wp.AvgErrQLow = lowSum / float64(lowN)
-		}
-		if highN > 0 {
-			wp.AvgErrQHigh = highSum / float64(highN)
-		}
-		out = append(out, wp)
 	}
 	return out, nil
 }

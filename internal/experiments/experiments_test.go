@@ -421,3 +421,31 @@ func TestHeadlineMultiSeed(t *testing.T) {
 		t.Fatal("empty seed list accepted")
 	}
 }
+
+// The multi-seed fan-out must produce bitwise the same per-seed factors as
+// running each seed through RunHeadline sequentially — parallelism may only
+// change wall-clock, never results.
+func TestMultiSeedMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed headline")
+	}
+	cfg := testHeadlineConfig(0)
+	seeds := []int64{1, 2}
+	par, err := RunHeadlineMultiSeed(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		run := cfg
+		run.Corpus.Seed = seed
+		h, err := RunHeadline(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bitwise comparison on purpose: the fan-out contract is exact
+		// equality with the sequential path.
+		if want := h.AvgErrPR / h.AvgErrQ; math.Float64bits(par.Factors[i]) != math.Float64bits(want) {
+			t.Fatalf("seed %d: parallel factor %v != sequential %v", seed, par.Factors[i], want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"pagequality/internal/metrics"
 	"pagequality/internal/pagerank"
@@ -235,20 +237,45 @@ type MultiSeedResult struct {
 	AllSignificant bool
 }
 
-// RunHeadlineMultiSeed runs the experiment once per seed.
+// RunHeadlineMultiSeed runs the experiment once per seed. The seeds fan
+// out across a worker pool (each corpus is fully determined by its own
+// seed, so per-seed results are identical to running the seeds
+// sequentially); aggregation happens in seed order afterwards.
 func RunHeadlineMultiSeed(cfg HeadlineConfig, seeds []int64) (*MultiSeedResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: no seeds")
 	}
 	cfg.fill()
+	headlines := make([]*HeadlineResult, len(seeds))
+	errs := make([]error, len(seeds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				run := cfg
+				run.Corpus.Seed = seeds[i]
+				headlines[i], errs[i] = RunHeadline(run)
+			}
+		}()
+	}
+	for i := range seeds {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
 	res := &MultiSeedResult{Seeds: seeds, MinFactor: math.Inf(1), AllSignificant: true}
 	sum := 0.0
-	for _, seed := range seeds {
-		run := cfg
-		run.Corpus.Seed = seed
-		h, err := RunHeadline(run)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
+	for i, h := range headlines {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("seed %d: %w", seeds[i], errs[i])
 		}
 		f := h.AvgErrPR / h.AvgErrQ
 		res.Factors = append(res.Factors, f)

@@ -193,7 +193,12 @@ func (g *Graph) OutDegree(id NodeID) int { return len(g.out[id]) }
 // InDegree returns len(InLinks(id)).
 func (g *Graph) InDegree(id NodeID) int { return len(g.in[id]) }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. All adjacency lists share one
+// packed backing array sized from the live edge count (two entries per
+// edge), so a snapshot costs two large allocations instead of one per
+// non-empty list. Each list's capacity is capped at its length, so a later
+// append on the clone reallocates that list rather than clobbering its
+// neighbour's region of the backing array.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		pages: append([]Page(nil), g.pages...),
@@ -202,12 +207,17 @@ func (g *Graph) Clone() *Graph {
 		byURL: make(map[string]NodeID, len(g.byURL)),
 		edges: g.edges,
 	}
+	backing := make([]NodeID, 0, 2*g.edges)
 	for i := range g.out {
-		if len(g.out[i]) > 0 {
-			c.out[i] = append([]NodeID(nil), g.out[i]...)
+		if n := len(g.out[i]); n > 0 {
+			lo := len(backing)
+			backing = append(backing, g.out[i]...)
+			c.out[i] = backing[lo : lo+n : lo+n]
 		}
-		if len(g.in[i]) > 0 {
-			c.in[i] = append([]NodeID(nil), g.in[i]...)
+		if n := len(g.in[i]); n > 0 {
+			lo := len(backing)
+			backing = append(backing, g.in[i]...)
+			c.in[i] = backing[lo : lo+n : lo+n]
 		}
 	}
 	for k, v := range g.byURL {

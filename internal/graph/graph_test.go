@@ -130,6 +130,34 @@ func TestCloneIsDeep(t *testing.T) {
 	}
 }
 
+// Clone packs all adjacency lists into one backing array; an append on one
+// of the clone's lists must reallocate that list rather than overwrite the
+// adjacent list's region.
+func TestClonePackedListsDoNotAlias(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.MustAddPage(Page{URL: string(rune('a' + i))})
+	}
+	g.AddLink(0, 1)
+	g.AddLink(2, 1)
+	g.AddLink(1, 3)
+	c := g.Clone()
+	// Grow every list on the clone; if regions aliased, a neighbour's
+	// contents would be clobbered and Validate's in/out cross-check fails.
+	c.AddLink(0, 2)
+	c.AddLink(0, 3)
+	c.AddLink(3, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone corrupted after appends: %v", err)
+	}
+	if !c.HasLink(2, 1) || !c.HasLink(1, 3) || !c.HasLink(0, 1) {
+		t.Fatal("pre-existing links lost after clone appends")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("original corrupted: %v", err)
+	}
+}
+
 func TestSubgraph(t *testing.T) {
 	g := New(4)
 	for i := 0; i < 4; i++ {

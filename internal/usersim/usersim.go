@@ -11,11 +11,11 @@ package usersim
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"pagequality/internal/bitset"
 	"pagequality/internal/model"
+	"pagequality/internal/randx"
 )
 
 // Config parameterises a single-page simulation.
@@ -168,7 +168,7 @@ func (s *Sim) Discoveries() int64 { return s.discovers }
 // user, applies discovery/liking, then applies forgetting.
 func (s *Sim) Step() {
 	lam := s.cfg.VisitRate * s.Popularity() * s.cfg.DT
-	visits := poisson(s.rng, lam)
+	visits := randx.Poisson(s.rng, lam)
 	for v := 0; v < visits; v++ {
 		s.visits++
 		u := int32(s.rng.Intn(s.cfg.Users))
@@ -183,7 +183,7 @@ func (s *Sim) Step() {
 		}
 	}
 	if s.cfg.ForgetRate > 0 && len(s.awareList) > 0 {
-		forgets := poisson(s.rng, s.cfg.ForgetRate*float64(len(s.awareList))*s.cfg.DT)
+		forgets := randx.Poisson(s.rng, s.cfg.ForgetRate*float64(len(s.awareList))*s.cfg.DT)
 		for f := 0; f < forgets && len(s.awareList) > 0; f++ {
 			u := s.awareList[s.rng.Intn(len(s.awareList))]
 			s.removeAware(u)
@@ -213,29 +213,4 @@ func (s *Sim) Run(tMax float64, sampleEvery int) (model.Trajectory, error) {
 		}
 	}
 	return tr, nil
-}
-
-// poisson draws a Poisson(lambda) variate: Knuth's product method for
-// small lambda, normal approximation (rounded, clamped at 0) for large.
-func poisson(rng *rand.Rand, lambda float64) int {
-	if lambda <= 0 {
-		return 0
-	}
-	if lambda < 30 {
-		l := math.Exp(-lambda)
-		k := 0
-		p := 1.0
-		for {
-			p *= rng.Float64()
-			if p <= l {
-				return k
-			}
-			k++
-		}
-	}
-	v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
-	if v < 0 {
-		return 0
-	}
-	return int(math.Round(v))
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pagequality/internal/model"
+	"pagequality/internal/randx"
 )
 
 func TestConfigValidation(t *testing.T) {
@@ -222,7 +223,7 @@ func TestPoissonMoments(t *testing.T) {
 		const trials = 20000
 		sum, sumSq := 0.0, 0.0
 		for i := 0; i < trials; i++ {
-			x := float64(poisson(s.rng, lambda))
+			x := float64(randx.Poisson(s.rng, lambda))
 			sum += x
 			sumSq += x * x
 		}

@@ -14,15 +14,27 @@
 // Because every page's true quality is known by construction, experiments
 // can evaluate the estimator against ground truth — something the paper's
 // real crawl could only approximate with future PageRank.
+//
+// The per-tick hot path is a sharded two-phase kernel (see DESIGN.md §7):
+// a draw phase partitions the pages into fixed contiguous chunks processed
+// by a Workers pool, each page drawing its visit/discovery/like/forget
+// counts from its own counter-based randx.Stream keyed on (corpus seed,
+// page id, tick); a serial apply phase then consumes the per-page event
+// counts in page order to mutate the shared graph. Because no draw depends
+// on scheduling, the evolved corpus is bitwise identical for every Workers
+// setting.
 package webcorpus
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"pagequality/internal/graph"
+	"pagequality/internal/randx"
 	"pagequality/internal/snapshot"
 )
 
@@ -68,6 +80,11 @@ type Config struct {
 	BurnInWeeks float64
 	// Seed makes the corpus deterministic.
 	Seed int64
+	// Workers is the parallelism of the per-tick draw phase; 0 means
+	// GOMAXPROCS (mirroring pagerank.Options.Workers). The evolved corpus
+	// is bitwise identical for every setting: each page draws from its own
+	// counter-based stream, so no result depends on scheduling.
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale configuration mirroring the paper's
@@ -124,24 +141,42 @@ func (c *Config) fill() error {
 		return fmt.Errorf("%w: DT=%g", ErrBadConfig, c.DT)
 	case c.BurnInWeeks < 0:
 		return fmt.Errorf("%w: BurnInWeeks=%g", ErrBadConfig, c.BurnInWeeks)
+	case c.Workers < 0:
+		return fmt.Errorf("%w: Workers=%d", ErrBadConfig, c.Workers)
 	}
 	return nil
 }
+
+// Stream-key space of the corpus. Page ids are dense uint32 values, so
+// every key >= 1<<32 is reserved for non-page streams.
+const (
+	keyTick   = 1 << 32 // per-tick serial events (churn, births)
+	keySetup  = keyTick + 1
+	keyInject = keyTick + 2 // BirthPage injections, tick = page sequence
+)
 
 // Sim is a running corpus simulation. The underlying graph only ever
 // grows nodes (pages are never deleted, matching a crawler that keeps
 // seeing the same URLs); links come and go.
 type Sim struct {
-	cfg Config
-	rng *rand.Rand
-	g   *graph.Graph
+	cfg     Config
+	workers int
+	g       *graph.Graph
 	// Per-page state, indexed by NodeID.
-	aware []float64 // number of users aware of the page
-	likes []float64 // number of users who like the page (popularity × n)
+	aware   []float64 // number of users aware of the page
+	likes   []float64 // number of users who like the page (popularity × n)
+	quality []float64 // cached Page.Quality (immutable per page)
 	// sitePages[s] lists the pages of site s (link-source sampling).
 	sitePages [][]graph.NodeID
 	time      float64
+	tick      uint64 // ticks since construction; keys the per-tick streams
 	pageSeq   int
+	urlBuf    []byte
+
+	// Draw-phase scratch, indexed by NodeID and regrown as pages are born.
+	linkAdds []int32        // links to create toward the page this tick
+	linkDels []int32        // links to withdraw from the page this tick
+	streams  []randx.Stream // per-page stream state after the draw phase
 }
 
 // New builds the corpus, runs the burn-in, and leaves the simulation at
@@ -150,23 +185,28 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Sim{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		workers:   workers,
 		g:         graph.New(cfg.Sites * cfg.InitialPagesPerSite * 2),
 		sitePages: make([][]graph.NodeID, cfg.Sites),
 		time:      -cfg.BurnInWeeks,
 	}
+	setup := randx.NewStream(cfg.Seed, keySetup, 0)
 	for site := 0; site < cfg.Sites; site++ {
-		n := cfg.InitialPagesPerSite/2 + s.rng.Intn(cfg.InitialPagesPerSite+1)
+		n := cfg.InitialPagesPerSite/2 + randx.Intn(&setup, cfg.InitialPagesPerSite+1)
 		if n < 1 {
 			n = 1
 		}
 		for k := 0; k < n; k++ {
 			// Stagger creation across the burn-in window so the corpus
 			// contains pages of every age.
-			created := -cfg.BurnInWeeks * s.rng.Float64()
-			s.birthPage(site, created)
+			created := -cfg.BurnInWeeks * randx.Float64(&setup)
+			s.birthPage(&setup, site, created)
 		}
 	}
 	// Burn-in: advance to t = 0.
@@ -188,50 +228,75 @@ func (s *Sim) BirthPage(site int, q float64) (graph.NodeID, error) {
 	if !(q > 0 && q <= 1) {
 		return graph.InvalidNode, fmt.Errorf("%w: quality %g outside (0,1]", ErrBadConfig, q)
 	}
-	return s.birthPageQ(site, s.time, q), nil
+	st := randx.NewStream(s.cfg.Seed, keyInject, uint64(s.pageSeq))
+	return s.birthPageQ(&st, site, s.time, q), nil
 }
 
 // birthPage creates one page on the given site with a Beta-distributed
 // quality and one seed user who likes it.
-func (s *Sim) birthPage(site int, created float64) graph.NodeID {
-	q := betaSample(s.rng, s.cfg.QualityAlpha, s.cfg.QualityBeta)
+func (s *Sim) birthPage(src randx.Source, site int, created float64) graph.NodeID {
+	q := randx.Beta(src, s.cfg.QualityAlpha, s.cfg.QualityBeta)
 	// Clamp away from 0 so the page can be visited at all (P0 = 1/n > 0).
 	if q < 0.01 {
 		q = 0.01
 	}
-	return s.birthPageQ(site, created, q)
+	return s.birthPageQ(src, site, created, q)
 }
 
-func (s *Sim) birthPageQ(site int, created, q float64) graph.NodeID {
-	url := fmt.Sprintf("http://site%03d.example/page%06d", site, s.pageSeq)
+func (s *Sim) birthPageQ(src randx.Source, site int, created, q float64) graph.NodeID {
+	s.urlBuf = appendPageURL(s.urlBuf[:0], site, s.pageSeq)
 	s.pageSeq++
 	id := s.g.MustAddPage(graph.Page{
-		URL:     url,
+		URL:     string(s.urlBuf),
 		Site:    int32(site),
 		Created: created,
 		Quality: q,
 	})
 	s.aware = append(s.aware, 1)
 	s.likes = append(s.likes, 1)
+	s.quality = append(s.quality, q)
 	s.sitePages[site] = append(s.sitePages[site], id)
 	// The seed liker publishes the page's first in-link.
-	s.createLinkTo(id)
+	s.createLinkTo(src, id)
 	return id
+}
+
+// appendPageURL builds "http://siteNNN.example/pageNNNNNN" without the
+// fmt machinery — page births are on the tick hot path.
+func appendPageURL(buf []byte, site, seq int) []byte {
+	buf = append(buf, "http://site"...)
+	buf = appendPadded(buf, site, 3)
+	buf = append(buf, ".example/page"...)
+	return appendPadded(buf, seq, 6)
+}
+
+// appendPadded appends v in decimal, zero-padded to at least width digits
+// (matching fmt's %0*d for non-negative values).
+func appendPadded(buf []byte, v, width int) []byte {
+	digits := 1
+	for x := v; x >= 10; x /= 10 {
+		digits++
+	}
+	for ; digits < width; digits++ {
+		buf = append(buf, '0')
+	}
+	return strconv.AppendInt(buf, int64(v), 10)
 }
 
 // createLinkTo adds one in-link to page p from a source chosen with the
 // configured same-site bias; duplicates and self-links are silently
 // skipped after a few attempts (the like still counts — the user simply
 // linked to a page that already linked there).
-func (s *Sim) createLinkTo(p graph.NodeID) {
+func (s *Sim) createLinkTo(src randx.Source, p graph.NodeID) {
 	site := int(s.g.Page(p).Site)
+	numNodes := s.g.NumNodes()
+	cand := s.sitePages[site]
 	for attempt := 0; attempt < 8; attempt++ {
 		var from graph.NodeID
-		if s.rng.Float64() < s.cfg.SameSiteBias && len(s.sitePages[site]) > 1 {
-			cand := s.sitePages[site]
-			from = cand[s.rng.Intn(len(cand))]
+		if randx.Float64(src) < s.cfg.SameSiteBias && len(cand) > 1 {
+			from = cand[randx.Intn(src, len(cand))]
 		} else {
-			from = graph.NodeID(s.rng.Intn(s.g.NumNodes()))
+			from = graph.NodeID(randx.Intn(src, numNodes))
 		}
 		if from == p {
 			continue
@@ -243,12 +308,12 @@ func (s *Sim) createLinkTo(p graph.NodeID) {
 }
 
 // removeLinkTo removes one random in-link of p, if any.
-func (s *Sim) removeLinkTo(p graph.NodeID) {
+func (s *Sim) removeLinkTo(src randx.Source, p graph.NodeID) {
 	in := s.g.InLinks(p)
 	if len(in) == 0 {
 		return
 	}
-	from := in[s.rng.Intn(len(in))]
+	from := in[randx.Intn(src, len(in))]
 	s.g.RemoveLink(from, p)
 }
 
@@ -275,88 +340,184 @@ func (s *Sim) Quality(p graph.NodeID) float64 {
 // use SnapshotNow for a stable copy.
 func (s *Sim) Graph() *graph.Graph { return s.g }
 
-// step advances one DT tick.
-func (s *Sim) step() {
+// drawChunk is the fixed shard width of the draw phase. Chunk boundaries
+// depend only on the page count, never on the worker count, which is one
+// half of the bitwise worker-invariance argument (the other half is the
+// per-page streams).
+const drawChunk = 1024
+
+// Step advances the simulation by one DT tick using the two-phase kernel:
+// a (possibly parallel) draw phase computes every page's awareness/like
+// deltas and link event counts from its own counter-based stream, then a
+// serial apply phase mutates the graph in page order, followed by the
+// tick-level churn and birth events.
+func (s *Sim) Step() {
 	cfg := &s.cfg
-	n := float64(cfg.Users)
-	// Page visits, discoveries, likes, links.
-	for p := 0; p < s.g.NumNodes(); p++ {
-		id := graph.NodeID(p)
-		pop := s.likes[p] / n
-		if pop <= 0 {
+	nPages := s.g.NumNodes()
+	s.growScratch(nPages)
+
+	// (1) Draw phase. Workers own disjoint contiguous page ranges, so the
+	// per-page slices are written race-free; the graph is not touched.
+	if s.workers > 1 && nPages > drawChunk {
+		s.drawParallel(nPages)
+	} else {
+		s.drawRange(0, nPages)
+	}
+
+	// (2) Apply phase: serial, in page order, continuing each page's
+	// stream where the draw phase left it.
+	for p := 0; p < nPages; p++ {
+		adds, dels := s.linkAdds[p], s.linkDels[p]
+		if adds == 0 && dels == 0 {
 			continue
 		}
-		visits := poisson(s.rng, cfg.VisitRate*pop*cfg.DT)
-		if visits == 0 {
-			continue
+		st := &s.streams[p]
+		for k := int32(0); k < adds; k++ {
+			s.createLinkTo(st, graph.NodeID(p))
 		}
-		q := s.g.Page(id).Quality
-		unawareFrac := 1 - s.aware[p]/n
-		if unawareFrac < 0 {
-			unawareFrac = 0
-		}
-		// Each visit lands on an unaware user with prob unawareFrac
-		// (random-visit hypothesis); thin the Poisson instead of looping
-		// when visit counts are large.
-		discoveries := binomial(s.rng, visits, unawareFrac)
-		if discoveries == 0 {
-			continue
-		}
-		s.aware[p] += float64(discoveries)
-		newLikes := binomial(s.rng, discoveries, q)
-		s.likes[p] += float64(newLikes)
-		links := binomial(s.rng, newLikes, cfg.LinkProb)
-		for k := 0; k < links; k++ {
-			s.createLinkTo(id)
+		for k := int32(0); k < dels; k++ {
+			s.removeLinkTo(st, graph.NodeID(p))
 		}
 	}
-	// Forgetting (§9.1): aware users forget; forgetting likers withdraw
-	// their links.
-	if cfg.ForgetRate > 0 {
-		for p := 0; p < s.g.NumNodes(); p++ {
-			if s.aware[p] <= 1 {
-				continue
+
+	// Tick-level events, drawn from the tick stream: uncorrelated link
+	// churn (fluctuation noise), then page births.
+	tst := randx.NewStream(cfg.Seed, keyTick, s.tick)
+	if cfg.NoiseRate > 0 {
+		events := randx.Poisson(&tst, cfg.NoiseRate*float64(nPages)*cfg.DT)
+		for k := 0; k < events; k++ {
+			p := graph.NodeID(randx.Intn(&tst, s.g.NumNodes()))
+			if randx.Float64(&tst) < 0.5 {
+				s.createLinkTo(&tst, p)
+			} else {
+				s.removeLinkTo(&tst, p)
 			}
-			forgets := poisson(s.rng, cfg.ForgetRate*s.aware[p]*cfg.DT)
-			for k := 0; k < forgets && s.aware[p] > 1; k++ {
-				likerFrac := s.likes[p] / s.aware[p]
-				s.aware[p]--
-				if s.rng.Float64() < likerFrac && s.likes[p] > 1 {
-					s.likes[p]--
-					if s.rng.Float64() < cfg.LinkProb {
-						s.removeLinkTo(graph.NodeID(p))
+		}
+	}
+	if cfg.BirthRate > 0 {
+		births := randx.Poisson(&tst, cfg.BirthRate*cfg.DT)
+		for k := 0; k < births; k++ {
+			site := randx.Intn(&tst, cfg.Sites)
+			s.birthPage(&tst, site, s.time)
+		}
+	}
+	s.time += cfg.DT
+	s.tick++
+}
+
+// growScratch sizes the per-page scratch slices for this tick, with 50%
+// headroom so the steady trickle of births doesn't reallocate every tick.
+func (s *Sim) growScratch(nPages int) {
+	if cap(s.linkAdds) < nPages {
+		newCap := nPages + nPages/2
+		s.linkAdds = make([]int32, nPages, newCap)
+		s.linkDels = make([]int32, nPages, newCap)
+		s.streams = make([]randx.Stream, nPages, newCap)
+	} else {
+		s.linkAdds = s.linkAdds[:nPages]
+		s.linkDels = s.linkDels[:nPages]
+		s.streams = s.streams[:nPages]
+	}
+}
+
+// drawParallel fans the draw phase out over fixed contiguous chunks via a
+// shared atomic cursor.
+func (s *Sim) drawParallel(nPages int) {
+	chunks := (nPages + drawChunk - 1) / drawChunk
+	workers := s.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * drawChunk
+				hi := lo + drawChunk
+				if hi > nPages {
+					hi = nPages
+				}
+				s.drawRange(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// drawRange runs the draw phase for pages [lo, hi): visits, discoveries,
+// likes and forgetting, accumulating only per-page state plus link event
+// counts. Every draw comes from the page's own (seed, page, tick) stream,
+// so the results are independent of how ranges map to workers.
+func (s *Sim) drawRange(lo, hi int) {
+	cfg := &s.cfg
+	n := float64(cfg.Users)
+	aware, likes, quality := s.aware, s.likes, s.quality
+	visitRate := cfg.VisitRate * cfg.DT
+	forgetRate := cfg.ForgetRate * cfg.DT
+	for p := lo; p < hi; p++ {
+		// The stream lives in the per-page slice from the start: taking the
+		// address of a stack local here would escape it through the generic
+		// sampler calls, costing one heap allocation per page per tick.
+		s.streams[p] = randx.NewStream(cfg.Seed, uint64(p), s.tick)
+		st := &s.streams[p]
+		var adds, dels int32
+		if pop := likes[p] / n; pop > 0 {
+			if visits := randx.Poisson(st, visitRate*pop); visits > 0 {
+				unawareFrac := 1 - aware[p]/n
+				if unawareFrac < 0 {
+					unawareFrac = 0
+				}
+				// Each visit lands on an unaware user with prob unawareFrac
+				// (random-visit hypothesis); thin the Poisson instead of
+				// looping when visit counts are large. The normal
+				// approximations can overshoot the finite user pool, so
+				// clamp discoveries to the remaining unaware users and
+				// likes to the aware count — Popularity() stays <= 1.
+				discoveries := randx.Binomial(st, visits, unawareFrac)
+				if room := int(n - aware[p]); discoveries > room {
+					discoveries = room
+				}
+				if discoveries > 0 {
+					aware[p] += float64(discoveries)
+					newLikes := randx.Binomial(st, discoveries, quality[p])
+					if room := int(aware[p] - likes[p]); newLikes > room {
+						newLikes = room
+					}
+					likes[p] += float64(newLikes)
+					adds = int32(randx.Binomial(st, newLikes, cfg.LinkProb))
+				}
+			}
+		}
+		// Forgetting (§9.1): aware users forget; forgetting likers
+		// withdraw their links.
+		if forgetRate > 0 && aware[p] > 1 {
+			forgets := randx.Poisson(st, forgetRate*aware[p])
+			for k := 0; k < forgets && aware[p] > 1; k++ {
+				likerFrac := likes[p] / aware[p]
+				aware[p]--
+				if randx.Float64(st) < likerFrac && likes[p] > 1 {
+					likes[p]--
+					if randx.Float64(st) < cfg.LinkProb {
+						dels++
 					}
 				}
 			}
 		}
+		s.linkAdds[p], s.linkDels[p] = adds, dels
 	}
-	// Uncorrelated link churn (fluctuation noise).
-	if cfg.NoiseRate > 0 {
-		events := poisson(s.rng, cfg.NoiseRate*float64(s.g.NumNodes())*cfg.DT)
-		for k := 0; k < events; k++ {
-			p := graph.NodeID(s.rng.Intn(s.g.NumNodes()))
-			if s.rng.Float64() < 0.5 {
-				s.createLinkTo(p)
-			} else {
-				s.removeLinkTo(p)
-			}
-		}
-	}
-	// Page births.
-	if cfg.BirthRate > 0 {
-		births := poisson(s.rng, cfg.BirthRate*cfg.DT)
-		for k := 0; k < births; k++ {
-			site := s.rng.Intn(cfg.Sites)
-			s.birthPage(site, s.time)
-		}
-	}
-	s.time += cfg.DT
 }
 
 // AdvanceTo steps the simulation until the clock reaches t.
 func (s *Sim) AdvanceTo(t float64) {
 	for s.time < t-1e-9 {
-		s.step()
+		s.Step()
 	}
 }
 
@@ -398,96 +559,4 @@ func (s *Sim) TrueQualities(urls []string) ([]float64, error) {
 		out[i] = s.g.Page(id).Quality
 	}
 	return out, nil
-}
-
-// betaSample draws from Beta(a, b) via two Gamma variates
-// (Marsaglia–Tsang), using only math/rand.
-func betaSample(rng *rand.Rand, a, b float64) float64 {
-	x := gammaSample(rng, a)
-	y := gammaSample(rng, b)
-	return x / (x + y)
-}
-
-// gammaSample draws from Gamma(shape, 1) with the Marsaglia–Tsang method
-// (boosted for shape < 1).
-func gammaSample(rng *rand.Rand, shape float64) float64 {
-	if shape < 1 {
-		u := rng.Float64()
-		for u == 0 {
-			u = rng.Float64()
-		}
-		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
-	}
-	d := shape - 1.0/3
-	c := 1 / math.Sqrt(9*d)
-	for {
-		x := rng.NormFloat64()
-		v := 1 + c*x
-		if v <= 0 {
-			continue
-		}
-		v = v * v * v
-		u := rng.Float64()
-		if u < 1-0.0331*x*x*x*x {
-			return d * v
-		}
-		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
-			return d * v
-		}
-	}
-}
-
-// poisson draws Poisson(lambda): Knuth for small lambda, normal
-// approximation for large.
-func poisson(rng *rand.Rand, lambda float64) int {
-	if lambda <= 0 {
-		return 0
-	}
-	if lambda < 30 {
-		l := math.Exp(-lambda)
-		k := 0
-		p := 1.0
-		for {
-			p *= rng.Float64()
-			if p <= l {
-				return k
-			}
-			k++
-		}
-	}
-	v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
-	if v < 0 {
-		return 0
-	}
-	return int(math.Round(v))
-}
-
-// binomial draws Binomial(n, p): exact Bernoulli loop for small n, normal
-// approximation for large n.
-func binomial(rng *rand.Rand, n int, p float64) int {
-	if n <= 0 || p <= 0 {
-		return 0
-	}
-	if p >= 1 {
-		return n
-	}
-	if n < 50 {
-		k := 0
-		for i := 0; i < n; i++ {
-			if rng.Float64() < p {
-				k++
-			}
-		}
-		return k
-	}
-	mean := float64(n) * p
-	sd := math.Sqrt(mean * (1 - p))
-	v := int(math.Round(mean + sd*rng.NormFloat64()))
-	if v < 0 {
-		v = 0
-	}
-	if v > n {
-		v = n
-	}
-	return v
 }

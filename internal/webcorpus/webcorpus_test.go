@@ -1,9 +1,9 @@
 package webcorpus
 
 import (
+	"bytes"
 	"errors"
 	"math"
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -40,6 +40,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.NoiseRate = -1 },
 		func(c *Config) { c.DT = -0.5 },
 		func(c *Config) { c.BurnInWeeks = -1 },
+		func(c *Config) { c.Workers = -1 },
 	}
 	for i, m := range mutations {
 		cfg := DefaultConfig()
@@ -282,47 +283,102 @@ func TestPopularityBounded(t *testing.T) {
 	}
 }
 
-func TestBetaSampleMoments(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	const trials = 20000
-	a, b := 2.0, 3.0
-	sum, sumSq := 0.0, 0.0
-	for i := 0; i < trials; i++ {
-		x := betaSample(rng, a, b)
-		if x < 0 || x > 1 {
-			t.Fatalf("beta sample %g outside [0,1]", x)
+// The evolved corpus must be bitwise identical at every worker count: the
+// per-page counter streams make draws scheduling-independent, and this test
+// enforces it on the full pipeline (burn-in + schedule + snapshots).
+func TestStepWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) ([]byte, *Sim) {
+		cfg := smallConfig()
+		// More pages than one draw chunk, so the sharded parallel path is
+		// genuinely exercised (smallConfig stays below the threshold and
+		// would fall back to the serial draw at every worker count).
+		cfg.Sites = 30
+		cfg.InitialPagesPerSite = 40
+		cfg.BurnInWeeks = 3
+		cfg.Workers = workers
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
-		sum += x
-		sumSq += x * x
+		snaps, err := s.RunSchedule(PaperSchedule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := snapshot.Encode(snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc, s
 	}
-	mean := sum / trials
-	wantMean := a / (a + b)
-	if math.Abs(mean-wantMean) > 0.01 {
-		t.Fatalf("beta mean %g, want %g", mean, wantMean)
+	ref, refSim := run(1)
+	if refSim.NumPages() <= drawChunk {
+		t.Fatalf("corpus has %d pages; need > drawChunk=%d to exercise the parallel path",
+			refSim.NumPages(), drawChunk)
 	}
-	variance := sumSq/trials - mean*mean
-	wantVar := a * b / ((a + b) * (a + b) * (a + b + 1))
-	if math.Abs(variance-wantVar) > 0.005 {
-		t.Fatalf("beta variance %g, want %g", variance, wantVar)
+	for _, workers := range []int{2, 0} { // 0 = GOMAXPROCS
+		got, sim := run(workers)
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("snapshots with Workers=%d differ from Workers=1", workers)
+		}
+		if sim.NumPages() != refSim.NumPages() {
+			t.Fatalf("page count with Workers=%d: %d vs %d", workers, sim.NumPages(), refSim.NumPages())
+		}
+		for p := 0; p < sim.NumPages(); p++ {
+			// Bitwise float comparison is deliberate here (see pqlint's
+			// floateq rationale): the invariance contract is exact equality.
+			if math.Float64bits(sim.aware[p]) != math.Float64bits(refSim.aware[p]) ||
+				math.Float64bits(sim.likes[p]) != math.Float64bits(refSim.likes[p]) {
+				t.Fatalf("page %d user-state with Workers=%d differs: aware %v vs %v, likes %v vs %v",
+					p, workers, sim.aware[p], refSim.aware[p], sim.likes[p], refSim.likes[p])
+			}
+		}
 	}
 }
 
-func TestBinomialEdgeCases(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	if binomial(rng, 0, 0.5) != 0 || binomial(rng, -1, 0.5) != 0 {
-		t.Fatal("binomial n<=0 wrong")
+// Regression test for the normal-approximation overshoot: with a tiny user
+// population and a huge visit rate, the unclamped draw phase pushed aware
+// and likes past Users, so Popularity() exceeded 1. Drive that regime hard
+// and assert the invariants every tick.
+func TestPopularityClampedTinyUsers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 12
+	cfg.VisitRate = 50000 // enormous visit pressure on 12 users
+	cfg.QualityAlpha = 60 // qualities near 1: almost every discovery likes
+	cfg.QualityBeta = 1
+	cfg.BurnInWeeks = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if binomial(rng, 10, 0) != 0 {
-		t.Fatal("binomial p=0 wrong")
+	n := float64(cfg.Users)
+	for tick := 0; tick < 200; tick++ {
+		s.Step()
+		for p := 0; p < s.NumPages(); p++ {
+			id := graph.NodeID(p)
+			if s.aware[p] > n {
+				t.Fatalf("tick %d page %d: aware %g exceeds Users %g", tick, p, s.aware[p], n)
+			}
+			if s.likes[p] > s.aware[p] {
+				t.Fatalf("tick %d page %d: likes %g exceeds aware %g", tick, p, s.likes[p], s.aware[p])
+			}
+			if pop := s.Popularity(id); pop < 0 || pop > 1 {
+				t.Fatalf("tick %d page %d: popularity %g outside [0,1]", tick, p, pop)
+			}
+		}
 	}
-	if binomial(rng, 10, 1) != 10 {
-		t.Fatal("binomial p=1 wrong")
-	}
-	// Large-n normal approximation stays in range.
-	for i := 0; i < 100; i++ {
-		v := binomial(rng, 1000, 0.3)
-		if v < 0 || v > 1000 {
-			t.Fatalf("binomial out of range: %d", v)
+}
+
+func TestAppendPageURL(t *testing.T) {
+	for _, tc := range []struct {
+		site, seq int
+		want      string
+	}{
+		{0, 0, "http://site000.example/page000000"},
+		{7, 42, "http://site007.example/page000042"},
+		{154, 1234567, "http://site154.example/page1234567"},
+	} {
+		if got := string(appendPageURL(nil, tc.site, tc.seq)); got != tc.want {
+			t.Errorf("appendPageURL(%d,%d) = %q, want %q", tc.site, tc.seq, got, tc.want)
 		}
 	}
 }
