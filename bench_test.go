@@ -16,6 +16,7 @@ import (
 	"pagequality/internal/model"
 	"pagequality/internal/pagerank"
 	"pagequality/internal/quality"
+	"pagequality/internal/search"
 	"pagequality/internal/snapshot"
 	"pagequality/internal/usersim"
 	"pagequality/internal/webcorpus"
@@ -441,6 +442,72 @@ func BenchmarkPageRankSeries(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := al.PageRankSeries(pagerank.Options{Tol: 1e-8, Workers: bench.workers}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchSearchIndex builds the webcorpus-scale index used by the query
+// benchmarks, plus a synthetic authority vector for the blended modes.
+func benchSearchIndex(b *testing.B) (*search.Index, []float64) {
+	b.Helper()
+	cfg := webcorpus.DefaultConfig()
+	cfg.Sites = 60
+	cfg.BirthRate = 10
+	cfg.Seed = 3
+	sim, err := webcorpus.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := search.NewIndex()
+	for _, text := range sim.AllTexts(webcorpus.TextOptions{}) {
+		ix.Add(text)
+	}
+	auth := make([]float64, ix.NumDocs())
+	for i := range auth {
+		auth[i] = float64(i%97) / 97
+	}
+	return ix, auth
+}
+
+// BenchmarkSearchQuery times the uncached query hot path of the search
+// engine over a webcorpus-scale index: a short topical query and a
+// multi-term query dominated by high-document-frequency background words
+// (the worst case for per-posting work), under each ranking mode. One
+// warm-up query runs before the timer so index freezing is excluded — a
+// serving process pays that cost once, not per query.
+func BenchmarkSearchQuery(b *testing.B) {
+	ix, auth := benchSearchIndex(b)
+	// "astronomy" appears in page titles; commonN words span every site.
+	const (
+		shortQ = "astronomy"
+		multiQ = "common1 common2 common3 common4 astronomy1 databases2 cycling3 chess4"
+	)
+	for _, bench := range []struct {
+		name  string
+		query string
+		opts  search.Options
+	}{
+		{"vector/short", shortQ, search.Options{TopK: 10}},
+		{"vector/multi", multiQ, search.Options{TopK: 10}},
+		{"vector/multi/blend", multiQ, search.Options{TopK: 10, Authority: auth, AuthorityWeight: 0.7}},
+		{"bm25/multi", multiQ, search.Options{TopK: 10, Mode: search.ModeBM25}},
+		{"boolean-or/multi", multiQ, search.Options{TopK: 10, Mode: search.ModeBooleanOr}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			if _, err := ix.Search(bench.query, bench.opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hits, err := ix.Search(bench.query, bench.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(hits) == 0 {
+					b.Fatal("no hits")
 				}
 			}
 		})

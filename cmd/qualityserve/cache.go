@@ -1,0 +1,166 @@
+package main
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// queryKey identifies one cacheable search request. The index, the
+// quality estimates and the PageRank vector are all immutable for the
+// life of the process, so a response cached under a key never goes
+// stale: entries leave the cache only under LRU pressure.
+type queryKey struct {
+	q    string
+	k    int
+	rank string
+}
+
+// queryCache is a sharded LRU cache of encoded /search response bodies.
+// A key hashes (FNV-1a) to one shard; each shard is an independent
+// mutex + map + recency list, so concurrent clients contend only when
+// they collide on a shard rather than on one global lock. Hit, miss and
+// eviction counts are process-wide atomics surfaced in /stats.
+//
+// A nil *queryCache is valid and means caching is disabled: lookups
+// miss for free and stores are dropped.
+type queryCache struct {
+	shards    []cacheShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[queryKey]*list.Element
+	ll  *list.List // front = most recently used; values are *cacheEntry
+}
+
+type cacheEntry struct {
+	key  queryKey
+	body []byte
+}
+
+// newQueryCache builds a cache holding at most capacity entries spread
+// over nShards shards (capacity rounds up to a multiple of nShards).
+// Capacity <= 0 disables caching by returning nil.
+func newQueryCache(nShards, capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > capacity {
+		nShards = capacity
+	}
+	per := (capacity + nShards - 1) / nShards
+	c := &queryCache{shards: make([]cacheShard, nShards)}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].m = make(map[queryKey]*list.Element, per+1)
+		c.shards[i].ll = list.New()
+	}
+	return c
+}
+
+// shard hashes the key to its shard with FNV-1a over all three fields.
+func (c *queryCache) shard(k queryKey) *cacheShard {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.q); i++ {
+		h = (h ^ uint64(k.q[i])) * prime64
+	}
+	h = (h ^ uint64(k.k)) * prime64
+	for i := 0; i < len(k.rank); i++ {
+		h = (h ^ uint64(k.rank[i])) * prime64
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// get returns the cached response body for the key, promoting the entry
+// to most recently used. The returned slice is shared and must not be
+// mutated (handlers only write it to the wire).
+func (c *queryCache) get(k queryKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(k)
+	var body []byte
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		s.ll.MoveToFront(e)
+		body = e.Value.(*cacheEntry).body
+	}
+	s.mu.Unlock()
+	if body == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return body, true
+}
+
+// put stores the response body under the key, evicting the shard's least
+// recently used entry if the shard is full.
+func (c *queryCache) put(k queryKey, body []byte) {
+	if c == nil {
+		return
+	}
+	s := c.shard(k)
+	evicted := false
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		e.Value.(*cacheEntry).body = body
+		s.ll.MoveToFront(e)
+	} else {
+		s.m[k] = s.ll.PushFront(&cacheEntry{key: k, body: body})
+		if s.ll.Len() > s.cap {
+			back := s.ll.Back()
+			s.ll.Remove(back)
+			delete(s.m, back.Value.(*cacheEntry).key)
+			evicted = true
+		}
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// counters returns the lifetime hit, miss and eviction counts.
+func (c *queryCache) counters() (hits, misses, evictions uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+// entries returns the current number of live entries across shards.
+func (c *queryCache) entries() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// capacity returns the maximum number of entries the cache can hold.
+func (c *queryCache) capacity() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].cap
+	}
+	return n
+}

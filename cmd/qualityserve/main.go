@@ -8,13 +8,21 @@
 //	GET /stats
 //	GET /healthz
 //
+// The query path is built for load: the index serves every request from
+// a frozen flat posting layout, responses are encoded through pooled
+// buffers, and a sharded LRU cache keyed on (query, k, rank) short-cuts
+// repeated queries — the index is immutable per process, so cached
+// responses never go stale. /stats reports the cache hit/miss/eviction
+// counters alongside the corpus numbers.
+//
 // Usage:
 //
 //	qualityserve -store web.pqs -archive pages/ -label t3 -snaps 3 \
-//	             -addr 127.0.0.1:8088
+//	             -addr 127.0.0.1:8088 [-cachesize 4096]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +30,8 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync"
+	"time"
 
 	"pagequality/internal/crawler"
 	"pagequality/internal/pagerank"
@@ -31,23 +41,48 @@ import (
 	"pagequality/internal/snapshot"
 )
 
+// cacheShards is the shard count of the query cache: enough that
+// concurrent clients rarely collide on a shard lock, small enough that a
+// modest capacity still gives each shard a useful LRU depth.
+const cacheShards = 16
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout, http.ListenAndServe); err != nil {
+	if err := run(os.Args[1:], os.Stdout, listenAndServe); err != nil {
 		fmt.Fprintln(os.Stderr, "qualityserve:", err)
 		os.Exit(1)
+	}
+}
+
+// listenAndServe serves h behind an http.Server with header, read and
+// write timeouts, so a slow or stalled client cannot wedge a connection
+// (and its goroutine) indefinitely — the seam tests swap this out.
+func listenAndServe(addr string, h http.Handler) error {
+	return newServer(addr, h).ListenAndServe()
+}
+
+// newServer is the production server configuration.
+func newServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 }
 
 func run(args []string, out io.Writer, listen func(string, http.Handler) error) error {
 	fs := flag.NewFlagSet("qualityserve", flag.ContinueOnError)
 	var (
-		store   = fs.String("store", "web.pqs", "snapshot store with the crawl series")
-		archive = fs.String("archive", "", "pagestore directory with archived page bodies")
-		label   = fs.String("label", "", "archive label of the crawl to index (default: last estimation snapshot)")
-		snapsN  = fs.Int("snaps", 3, "number of leading snapshots used for quality estimation")
-		c       = fs.Float64("c", 1.0, "estimator constant C")
-		cap_    = fs.Float64("maxtrend", 0.3, "trend cap")
-		addr    = fs.String("addr", "127.0.0.1:8088", "listen address")
+		store     = fs.String("store", "web.pqs", "snapshot store with the crawl series")
+		archive   = fs.String("archive", "", "pagestore directory with archived page bodies")
+		label     = fs.String("label", "", "archive label of the crawl to index (default: last estimation snapshot)")
+		snapsN    = fs.Int("snaps", 3, "number of leading snapshots used for quality estimation")
+		c         = fs.Float64("c", 1.0, "estimator constant C")
+		cap_      = fs.Float64("maxtrend", 0.3, "trend cap")
+		addr      = fs.String("addr", "127.0.0.1:8088", "listen address")
+		cacheSize = fs.Int("cachesize", 4096, "query cache capacity in entries (0 disables caching)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,9 +90,12 @@ func run(args []string, out io.Writer, listen func(string, http.Handler) error) 
 	if *archive == "" {
 		return fmt.Errorf("-archive is required")
 	}
+	if *cacheSize < 0 {
+		return fmt.Errorf("-cachesize must be >= 0, got %d", *cacheSize)
+	}
 	svc, err := buildService(*store, *archive, *label, *snapsN, quality.Config{
 		C: *c, MinChangeFrac: 0.05, ApplyTrendToDecreasing: true, MaxTrend: *cap_,
-	})
+	}, *cacheSize)
 	if err != nil {
 		return err
 	}
@@ -66,17 +104,22 @@ func run(args []string, out io.Writer, listen func(string, http.Handler) error) 
 	return listen(*addr, svc)
 }
 
-// service holds the built index and per-document scores.
+// service holds the built index, per-document scores and the query cache.
 type service struct {
-	ix   *search.Index
-	urls []string // doc id -> canonical URL
-	qual []float64
-	pr   []float64
+	ix    *search.Index
+	urls  []string // doc id -> canonical URL
+	qual  []float64
+	pr    []float64
+	cache *queryCache
+	// bufPool recycles the JSON encoding buffers of cache misses; its
+	// zero value is usable (encodeHits falls back to a fresh buffer).
+	bufPool sync.Pool
 }
 
 // buildService loads the series, estimates quality, and indexes the
-// archived bodies of the chosen crawl.
-func buildService(storePath, archiveDir, label string, snapsN int, qcfg quality.Config) (*service, error) {
+// archived bodies of the chosen crawl. cacheSize bounds the query cache
+// (0 disables it).
+func buildService(storePath, archiveDir, label string, snapsN int, qcfg quality.Config, cacheSize int) (*service, error) {
 	snaps, err := snapshot.ReadFile(storePath)
 	if err != nil {
 		return nil, err
@@ -114,7 +157,7 @@ func buildService(storePath, archiveDir, label string, snapsN int, qcfg quality.
 		byURL[u] = i
 	}
 
-	svc := &service{ix: search.NewIndex()}
+	svc := &service{ix: search.NewIndex(), cache: newQueryCache(cacheShards, cacheSize)}
 	for _, k := range keys {
 		_, body, err := arch.Get(k)
 		if err != nil {
@@ -166,10 +209,16 @@ func (s *service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *service) serveStats(w http.ResponseWriter) {
+	hits, misses, evictions := s.cache.counters()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"documents": s.ix.NumDocs(),
-		"terms":     s.ix.NumTerms(),
+		"documents":       s.ix.NumDocs(),
+		"terms":           s.ix.NumTerms(),
+		"cache_hits":      hits,
+		"cache_misses":    misses,
+		"cache_evictions": evictions,
+		"cache_entries":   s.cache.entries(),
+		"cache_capacity":  s.cache.capacity(),
 	})
 }
 
@@ -188,9 +237,11 @@ func (s *service) serveSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
+	rank := r.URL.Query().Get("rank")
 	opts := search.Options{TopK: k}
-	switch mode := r.URL.Query().Get("rank"); mode {
+	switch rank {
 	case "", "quality":
+		rank = "quality" // the default and the explicit form share a cache key
 		opts.Authority = s.qual
 		opts.AuthorityWeight = 0.7
 	case "pagerank":
@@ -202,11 +253,31 @@ func (s *service) serveSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `parameter "rank" must be quality, pagerank or relevance`, http.StatusBadRequest)
 		return
 	}
+	key := queryKey{q: q, k: k, rank: rank}
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
 	hits, err := s.ix.Search(q, opts)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	body, err := s.encodeHits(hits)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.cache.put(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// encodeHits renders the JSON response body through a pooled buffer. The
+// returned slice is a private copy, safe to cache and to hand to
+// concurrent writers.
+func (s *service) encodeHits(hits []search.Hit) ([]byte, error) {
 	out := make([]hitJSON, 0, len(hits))
 	for _, h := range hits {
 		out = append(out, hitJSON{
@@ -217,6 +288,16 @@ func (s *service) serveSearch(w http.ResponseWriter, r *http.Request) {
 			PageRank:  s.pr[h.Doc],
 		})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	buf, _ := s.bufPool.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = new(bytes.Buffer)
+	}
+	buf.Reset()
+	err := json.NewEncoder(buf).Encode(out)
+	var body []byte
+	if err == nil {
+		body = append([]byte(nil), buf.Bytes()...)
+	}
+	s.bufPool.Put(buf)
+	return body, err
 }

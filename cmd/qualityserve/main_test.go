@@ -21,7 +21,7 @@ import (
 // buildFixture grows a corpus, crawls it three times over HTTP (archiving
 // bodies under t1..t3), and writes the snapshot store — the exact inputs
 // qualityserve consumes in production.
-func buildFixture(t *testing.T) (storePath, archiveDir string) {
+func buildFixture(t testing.TB) (storePath, archiveDir string) {
 	t.Helper()
 	cfg := webcorpus.DefaultConfig()
 	cfg.Sites = 10
@@ -86,7 +86,7 @@ func defaultQCfg() quality.Config {
 
 func TestServiceSearch(t *testing.T) {
 	storePath, archiveDir := buildFixture(t)
-	svc, err := buildService(storePath, archiveDir, "", 3, defaultQCfg())
+	svc, err := buildService(storePath, archiveDir, "", 3, defaultQCfg(), 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestServiceSearch(t *testing.T) {
 
 func TestServiceStatsAndHealth(t *testing.T) {
 	storePath, archiveDir := buildFixture(t)
-	svc, err := buildService(storePath, archiveDir, "", 3, defaultQCfg())
+	svc, err := buildService(storePath, archiveDir, "", 3, defaultQCfg(), 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +157,36 @@ func TestServiceStatsAndHealth(t *testing.T) {
 	if stats["documents"] == 0 || stats["terms"] == 0 {
 		t.Fatalf("stats = %v", stats)
 	}
+	// The query-cache fields are always present; this service has made no
+	// searches, so the counters are zero and the capacity is as built.
+	for _, field := range []string{"cache_hits", "cache_misses", "cache_evictions", "cache_entries", "cache_capacity"} {
+		if _, ok := stats[field]; !ok {
+			t.Fatalf("stats missing %q: %v", field, stats)
+		}
+	}
+	if stats["cache_capacity"] < 64 {
+		t.Fatalf("cache_capacity = %d, want >= 64", stats["cache_capacity"])
+	}
+	if stats["cache_hits"] != 0 || stats["cache_misses"] != 0 || stats["cache_entries"] != 0 {
+		t.Fatalf("fresh service has non-zero cache stats: %v", stats)
+	}
+}
+
+// TestServerHasTimeouts pins the production listener configuration: every
+// timeout that protects the server from a slow client must be set.
+func TestServerHasTimeouts(t *testing.T) {
+	srv := newServer("127.0.0.1:0", http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("server timeouts unset: %+v", srv)
+	}
+	if srv.Addr != "127.0.0.1:0" || srv.Handler == nil {
+		t.Fatalf("server miswired: %+v", srv)
+	}
 }
 
 func TestServiceBadRequests(t *testing.T) {
 	storePath, archiveDir := buildFixture(t)
-	svc, err := buildService(storePath, archiveDir, "", 3, defaultQCfg())
+	svc, err := buildService(storePath, archiveDir, "", 3, defaultQCfg(), 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,16 +220,16 @@ func TestServiceBadRequests(t *testing.T) {
 
 func TestBuildServiceErrors(t *testing.T) {
 	storePath, archiveDir := buildFixture(t)
-	if _, err := buildService(filepath.Join(t.TempDir(), "none.pqs"), archiveDir, "", 3, defaultQCfg()); err == nil {
+	if _, err := buildService(filepath.Join(t.TempDir(), "none.pqs"), archiveDir, "", 3, defaultQCfg(), 0); err == nil {
 		t.Fatal("missing store accepted")
 	}
-	if _, err := buildService(storePath, t.TempDir(), "", 3, defaultQCfg()); err == nil {
+	if _, err := buildService(storePath, t.TempDir(), "", 3, defaultQCfg(), 0); err == nil {
 		t.Fatal("empty archive accepted")
 	}
-	if _, err := buildService(storePath, archiveDir, "zz", 3, defaultQCfg()); err == nil {
+	if _, err := buildService(storePath, archiveDir, "zz", 3, defaultQCfg(), 0); err == nil {
 		t.Fatal("unknown label accepted")
 	}
-	if _, err := buildService(storePath, archiveDir, "", 9, defaultQCfg()); err == nil {
+	if _, err := buildService(storePath, archiveDir, "", 9, defaultQCfg(), 0); err == nil {
 		t.Fatal("snaps beyond series accepted")
 	}
 }

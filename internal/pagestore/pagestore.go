@@ -27,9 +27,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Meta is the per-document metadata stored alongside the body.
@@ -65,6 +67,12 @@ type Options struct {
 	// MaxSegmentBytes triggers rotation to a new segment file once the
 	// active one exceeds this size (default 64 MiB).
 	MaxSegmentBytes int64
+	// ScanWorkers bounds the goroutines used to scan segment files when
+	// rebuilding the key index on Open. 0 uses GOMAXPROCS; 1 scans
+	// sequentially. The rebuilt index is identical either way: scans
+	// only collect per-segment records, and the merge applies them in
+	// segment order so the latest version of a key always wins.
+	ScanWorkers int
 }
 
 // Errors returned by the store.
@@ -102,11 +110,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, id := range segs {
-		lastSeg := i == len(segs)-1
-		if err := s.scanSegment(id, lastSeg); err != nil {
-			return nil, err
-		}
+	if err := s.rebuildIndex(segs, opts.ScanWorkers); err != nil {
+		return nil, err
 	}
 	// Open (or create) the active segment: the last existing one, or #1.
 	s.actID = 1
@@ -180,14 +185,69 @@ func appendRecord(buf []byte, key string, meta Meta, compressed []byte) []byte {
 	return buf
 }
 
-// scanSegment replays one segment into the index. For the newest segment
-// (last == true) a torn tail record is truncated away instead of failing.
-func (s *Store) scanSegment(id int, last bool) error {
+// segEntry is one record discovered while scanning a segment.
+type segEntry struct {
+	key string
+	off int64
+}
+
+// rebuildIndex scans the segments (fanning the per-file scans out over
+// workers) and merges the discovered records into the key index in
+// segment order, so the latest version of a key wins exactly as a
+// sequential replay would decide. Errors are reported for the earliest
+// failing segment regardless of which worker hit it first.
+func (s *Store) rebuildIndex(segs []int, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	ents := make([][]segEntry, len(segs))
+	errs := make([]error, len(segs))
+	if workers <= 1 {
+		for i, id := range segs {
+			ents[i], errs[i] = s.scanSegmentFile(id, i == len(segs)-1)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(segs) {
+						return
+					}
+					ents[i], errs[i] = s.scanSegmentFile(segs[i], i == len(segs)-1)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, id := range segs {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		for _, e := range ents[i] {
+			s.index[e.key] = location{seg: id, offset: e.off}
+		}
+	}
+	return nil
+}
+
+// scanSegmentFile replays one segment, returning its records in file
+// order. For the newest segment (last == true) a torn tail record is
+// truncated away instead of failing.
+func (s *Store) scanSegmentFile(id int, last bool) ([]segEntry, error) {
 	path := s.segPath(id)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("pagestore: read segment %d: %w", id, err)
+		return nil, fmt.Errorf("pagestore: read segment %d: %w", id, err)
 	}
+	var ents []segEntry
 	off := int64(0)
 	for off < int64(len(data)) {
 		recLen, key, err := verifyRecordAt(data, off)
@@ -195,16 +255,16 @@ func (s *Store) scanSegment(id int, last bool) error {
 			if last && errors.Is(err, io.ErrUnexpectedEOF) {
 				// crash recovery: drop the torn tail
 				if terr := os.Truncate(path, off); terr != nil {
-					return fmt.Errorf("pagestore: truncate torn tail: %w", terr)
+					return nil, fmt.Errorf("pagestore: truncate torn tail: %w", terr)
 				}
-				return nil
+				return ents, nil
 			}
-			return fmt.Errorf("pagestore: segment %d offset %d: %w", id, off, err)
+			return nil, fmt.Errorf("pagestore: segment %d offset %d: %w", id, off, err)
 		}
-		s.index[key] = location{seg: id, offset: off}
+		ents = append(ents, segEntry{key: key, off: off})
 		off += recLen
 	}
-	return nil
+	return ents, nil
 }
 
 // verifyRecordAt checks the record starting at data[off], returning its

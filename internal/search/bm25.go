@@ -1,49 +1,14 @@
 package search
 
-import "math"
-
 // BM25 parameters (standard Robertson–Sparck-Jones defaults). The paper's
 // related-work section traces its quality metric to the probabilistic
 // retrieval model [7, 20]; BM25 is that model's practical scoring
 // function, included here as the stronger content-relevance baseline next
-// to the boolean and vector-space models.
+// to the boolean and vector-space models. The scoring kernel itself lives
+// in frozen.go (bm25Kernel), operating over the frozen posting layout
+// with the idf and length-normalisation terms precomputed per term and
+// per document at freeze time.
 const (
 	bm25K1 = 1.2
 	bm25B  = 0.75
 )
-
-// bm25Scores computes Okapi BM25 over the query terms.
-func (ix *Index) bm25Scores(terms []string) map[int32]float64 {
-	n := len(ix.docLen)
-	if n == 0 {
-		return nil
-	}
-	totalLen := 0
-	for _, l := range ix.docLen {
-		totalLen += l
-	}
-	avgLen := float64(totalLen) / float64(n)
-	if avgLen == 0 {
-		return nil
-	}
-	// Sorted term order keeps the per-document float accumulation below
-	// bitwise reproducible; map order would perturb near-tie scores.
-	qCounts := queryCounts(terms)
-	scores := make(map[int32]float64)
-	for _, t := range sortedKeys(qCounts) {
-		plist := ix.postings[t]
-		if len(plist) == 0 {
-			continue
-		}
-		df := float64(len(plist))
-		// BM25 idf with the +1 smoothing that keeps it positive.
-		idf := math.Log(1 + (float64(n)-df+0.5)/(df+0.5))
-		for _, p := range plist {
-			tf := float64(p.tf)
-			dl := float64(ix.docLen[p.doc])
-			denom := tf + bm25K1*(1-bm25B+bm25B*dl/avgLen)
-			scores[p.doc] += idf * tf * (bm25K1 + 1) / denom
-		}
-	}
-	return scores
-}

@@ -54,8 +54,8 @@ func TestBM25UnknownTermAndEmptyIndex(t *testing.T) {
 		t.Fatalf("unknown term -> (%v, %v)", hits, err)
 	}
 	empty := NewIndex()
-	if s := empty.bm25Scores([]string{"x"}); s != nil {
-		t.Fatalf("empty index scored: %v", s)
+	if hits, err := empty.Search("x", Options{Mode: ModeBM25}); err != nil || hits != nil {
+		t.Fatalf("empty index scored: (%v, %v)", hits, err)
 	}
 }
 

@@ -28,12 +28,12 @@ func buildIndex(docs []string) *Index {
 }
 
 // TestScoringDeterministic runs every scoring path twice — within one
-// index (two map iterations, differently randomized by the runtime) and
-// across two independently built indexes — and demands bitwise-identical
-// floats. This is the regression test for the map-iteration order leaks
-// pqlint's detrange rule found in ensureNorms, vectorScores and
-// bm25Scores: before sorting term iteration, these sums varied in their
-// low bits from run to run.
+// frozen view (two kernel invocations) and across two independently
+// built and frozen indexes (two map iterations over the vocabulary,
+// differently randomized by the runtime) — and demands bitwise-identical
+// floats. This is the regression test for map-iteration order leaks: the
+// freeze iterates the postings map through sortedVocab, so norms, idf
+// tables and scores must never vary run to run.
 func TestScoringDeterministic(t *testing.T) {
 	docs := synthDocs(120)
 	query := "term1 term2 term3 term5 term8 term13 term21 term34 shared common everywhere unique3"
@@ -41,30 +41,44 @@ func TestScoringDeterministic(t *testing.T) {
 
 	a := buildIndex(docs)
 	b := buildIndex(docs)
-	a.ensureNorms()
-	b.ensureNorms()
-	for i := range a.norm {
-		if math.Float64bits(a.norm[i]) != math.Float64bits(b.norm[i]) {
+	fa, fb := a.frozen(), b.frozen()
+	for i := range fa.norm {
+		if math.Float64bits(fa.norm[i]) != math.Float64bits(fb.norm[i]) {
 			t.Fatalf("norm[%d] differs across identical builds: %x vs %x",
-				i, a.norm[i], b.norm[i])
+				i, fa.norm[i], fb.norm[i])
+		}
+	}
+	for i := range fa.idf {
+		if math.Float64bits(fa.idf[i]) != math.Float64bits(fb.idf[i]) ||
+			math.Float64bits(fa.bm25IDF[i]) != math.Float64bits(fb.bm25IDF[i]) {
+			t.Fatalf("idf[%d] differs across identical builds", i)
 		}
 	}
 
+	score := func(f *frozen, kernel func(*frozen, []string, *scratch) []int32) map[int32]float64 {
+		sc := f.getScratch()
+		defer f.release(sc)
+		out := make(map[int32]float64)
+		for _, d := range kernel(f, terms, sc) {
+			out[d] = sc.score[d]
+		}
+		return out
+	}
 	paths := []struct {
-		name  string
-		score func(*Index) map[int32]float64
+		name   string
+		kernel func(*frozen, []string, *scratch) []int32
 	}{
-		{"vector", func(ix *Index) map[int32]float64 { return ix.vectorScores(terms) }},
-		{"bm25", func(ix *Index) map[int32]float64 { return ix.bm25Scores(terms) }},
+		{"vector", func(f *frozen, ts []string, sc *scratch) []int32 { return f.vectorKernel(ts, sc) }},
+		{"bm25", func(f *frozen, ts []string, sc *scratch) []int32 { return f.bm25Kernel(ts, sc) }},
 	}
 	for _, p := range paths {
-		first := p.score(a)
+		first := score(fa, p.kernel)
 		if len(first) == 0 {
 			t.Fatalf("%s: query matched nothing; corpus broken", p.name)
 		}
 		for run := 0; run < 5; run++ {
-			for name, ix := range map[string]*Index{"same index": a, "rebuilt index": b} {
-				got := p.score(ix)
+			for name, f := range map[string]*frozen{"same index": fa, "rebuilt index": fb} {
+				got := score(f, p.kernel)
 				if len(got) != len(first) {
 					t.Fatalf("%s (%s run %d): %d docs scored, want %d",
 						p.name, name, run, len(got), len(first))

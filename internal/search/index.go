@@ -6,6 +6,13 @@
 // relevance-versus-quality argument maps directly onto this two-stage
 // design: the query selects the relevant set, the authority vector orders
 // it.
+//
+// Queries are served from a frozen, CSR-style posting layout (see
+// frozen.go): flat doc-id and term-frequency slices per sorted term with
+// idf values and norms precomputed, scored through dense pooled
+// accumulators and a bounded top-k heap. The results are bitwise
+// identical to the original map-accumulator scorer, which the regression
+// tests retain as an oracle.
 package search
 
 import (
@@ -14,6 +21,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"unicode"
 )
 
@@ -39,11 +48,17 @@ type posting struct {
 // identified by the dense int id returned from Add; the caller typically
 // uses graph.NodeID values as document ids by adding documents in node
 // order.
+//
+// Once built, an Index is safe for any number of concurrent Search
+// calls: the first query freezes the postings into an immutable flat
+// layout that all queries share. Adding documents concurrently with
+// searching is not supported.
 type Index struct {
 	postings map[string][]posting
-	docLen   []int     // tokens per document
-	norm     []float64 // tf-idf L2 norm per document (computed lazily)
-	dirty    bool
+	docLen   []int // tokens per document
+
+	mu sync.Mutex             // serialises freeze after a mutation
+	fz atomic.Pointer[frozen] // current frozen view; nil after mutation
 }
 
 // NewIndex returns an empty index.
@@ -63,7 +78,7 @@ func (ix *Index) Add(text string) int {
 		ix.postings[t] = append(ix.postings[t], posting{doc: int32(id), tf: int32(c)})
 	}
 	ix.docLen = append(ix.docLen, len(terms))
-	ix.dirty = true
+	ix.fz.Store(nil)
 	return id
 }
 
@@ -92,29 +107,6 @@ func (ix *Index) idf(term string) float64 {
 		return 0
 	}
 	return math.Log(1 + float64(len(ix.docLen))/float64(df))
-}
-
-// ensureNorms computes per-document tf-idf L2 norms for cosine scoring.
-// Terms are visited in sorted order: each norm is a float sum over the
-// document's terms, and float addition is order-sensitive, so iterating
-// the postings map directly would make the norm bits (and potentially
-// near-tie rankings) vary run to run.
-func (ix *Index) ensureNorms() {
-	if !ix.dirty && ix.norm != nil {
-		return
-	}
-	ix.norm = make([]float64, len(ix.docLen))
-	for _, term := range ix.sortedVocab() {
-		w := ix.idf(term)
-		for _, p := range ix.postings[term] {
-			x := float64(p.tf) * w
-			ix.norm[p.doc] += x * x
-		}
-	}
-	for i := range ix.norm {
-		ix.norm[i] = math.Sqrt(ix.norm[i])
-	}
-	ix.dirty = false
 }
 
 // Mode selects the retrieval model.
@@ -148,7 +140,10 @@ type Hit struct {
 type Options struct {
 	// Mode selects boolean or vector retrieval (default ModeVector).
 	Mode Mode
-	// TopK bounds the number of results (default 10).
+	// TopK bounds the number of results (default 10). Zero selects the
+	// default, negative values are rejected, and values beyond the number
+	// of indexed documents are clamped to it — uniformly across every
+	// retrieval mode.
 	TopK int
 	// Authority, when non-nil, re-ranks the relevant set by blending the
 	// normalised relevance with the normalised authority score:
@@ -169,6 +164,9 @@ func (o *Options) fill(numDocs int) error {
 	if o.TopK < 1 {
 		return fmt.Errorf("%w: TopK=%d", ErrBadQuery, o.TopK)
 	}
+	if numDocs > 0 && o.TopK > numDocs {
+		o.TopK = numDocs
+	}
 	if o.Authority != nil {
 		if len(o.Authority) != numDocs {
 			return fmt.Errorf("%w: authority length %d != docs %d", ErrBadQuery, len(o.Authority), numDocs)
@@ -183,7 +181,8 @@ func (o *Options) fill(numDocs int) error {
 	return nil
 }
 
-// Search retrieves and ranks documents for the query.
+// Search retrieves and ranks documents for the query. It is safe for
+// concurrent use as long as no Add runs at the same time.
 func (ix *Index) Search(query string, opts Options) ([]Hit, error) {
 	if err := opts.fill(ix.NumDocs()); err != nil {
 		return nil, err
@@ -192,42 +191,55 @@ func (ix *Index) Search(query string, opts Options) ([]Hit, error) {
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
 	}
-	var rel map[int32]float64
-	switch opts.Mode {
-	case ModeVector:
-		rel = ix.vectorScores(terms)
-	case ModeBooleanAnd:
-		rel = ix.booleanScores(terms, true)
-	case ModeBooleanOr:
-		rel = ix.booleanScores(terms, false)
-	case ModeBM25:
-		rel = ix.bm25Scores(terms)
-	default:
+	if opts.Mode > ModeBM25 {
 		return nil, fmt.Errorf("%w: unknown mode %d", ErrBadQuery, opts.Mode)
 	}
-	if len(rel) == 0 {
+	f := ix.frozen()
+	sc := f.getScratch()
+	defer f.release(sc)
+	var docs []int32
+	switch opts.Mode {
+	case ModeVector:
+		docs = f.vectorKernel(terms, sc)
+	case ModeBooleanAnd:
+		docs = f.booleanKernel(terms, true, sc)
+	case ModeBooleanOr:
+		docs = f.booleanKernel(terms, false, sc)
+	case ModeBM25:
+		docs = f.bm25Kernel(terms, sc)
+	}
+	if len(docs) == 0 {
 		return nil, nil
 	}
-	hits := make([]Hit, 0, len(rel))
+	return blendAndSelect(docs, sc.score, opts), nil
+}
+
+// blendAndSelect normalises the relevance scores, blends in the
+// authority signal, and selects the top k hits. The max-reductions are
+// order-independent and the per-doc blend uses exactly the expressions
+// of the historical scorer, so the hit list is bitwise identical to
+// building every hit and fully sorting (see topK).
+func blendAndSelect(docs []int32, rel []float64, opts Options) []Hit {
 	maxRel := 0.0
-	for _, s := range rel {
-		if s > maxRel {
-			maxRel = s
+	for _, d := range docs {
+		if rel[d] > maxRel {
+			maxRel = rel[d]
 		}
 	}
 	var maxAuth float64
 	if opts.Authority != nil {
-		for d := range rel {
+		for _, d := range docs {
 			if a := opts.Authority[d]; a > maxAuth {
 				maxAuth = a
 			}
 		}
 	}
-	for d, s := range rel {
-		h := Hit{Doc: int(d), Relevance: s}
+	top := newTopK(opts.TopK)
+	for _, d := range docs {
+		h := Hit{Doc: int(d), Relevance: rel[d]}
 		relNorm := 0.0
 		if maxRel > 0 {
-			relNorm = s / maxRel
+			relNorm = rel[d] / maxRel
 		}
 		if opts.Authority != nil {
 			authNorm := 0.0
@@ -238,73 +250,9 @@ func (ix *Index) Search(query string, opts Options) ([]Hit, error) {
 		} else {
 			h.Score = relNorm
 		}
-		hits = append(hits, h)
+		top.offer(h)
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		//pqlint:allow floateq exact-tie detection so equal scores fall through to the doc-id tie-break
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Doc < hits[j].Doc
-	})
-	if len(hits) > opts.TopK {
-		hits = hits[:opts.TopK]
-	}
-	return hits, nil
-}
-
-// vectorScores computes cosine(query, doc) over tf-idf weights. Query
-// terms are visited in sorted order so the float accumulations below are
-// bitwise reproducible (map order would perturb qNorm and each score).
-func (ix *Index) vectorScores(terms []string) map[int32]float64 {
-	ix.ensureNorms()
-	qCounts := queryCounts(terms)
-	scores := make(map[int32]float64)
-	qNorm := 0.0
-	for _, t := range sortedKeys(qCounts) {
-		w := ix.idf(t)
-		if w == 0 {
-			continue
-		}
-		qw := float64(qCounts[t]) * w
-		qNorm += qw * qw
-		for _, p := range ix.postings[t] {
-			scores[p.doc] += qw * float64(p.tf) * w
-		}
-	}
-	if qNorm == 0 {
-		return nil
-	}
-	qn := math.Sqrt(qNorm)
-	for d := range scores {
-		if ix.norm[d] > 0 {
-			scores[d] /= qn * ix.norm[d]
-		}
-	}
-	return scores
-}
-
-// booleanScores retrieves by term containment; the score is the count of
-// matched terms (so OR-mode still ranks fuller matches first).
-func (ix *Index) booleanScores(terms []string, requireAll bool) map[int32]float64 {
-	uniq := make(map[string]bool, len(terms))
-	for _, t := range terms {
-		uniq[t] = true
-	}
-	counts := make(map[int32]int)
-	for t := range uniq {
-		for _, p := range ix.postings[t] {
-			counts[p.doc]++
-		}
-	}
-	scores := make(map[int32]float64, len(counts))
-	for d, c := range counts {
-		if requireAll && c < len(uniq) {
-			continue
-		}
-		scores[d] = float64(c)
-	}
-	return scores
+	return top.ranked()
 }
 
 // queryCounts tallies term frequencies of a tokenized query.

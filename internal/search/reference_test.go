@@ -1,0 +1,186 @@
+package search
+
+// This file preserves the pre-flattening scorer verbatim as the oracle
+// for the regression tests: searchReference is the historical
+// map-accumulator Search — per-query map[int32]float64 scores, lazily
+// recomputed norms, full sort plus truncation — against which the
+// frozen-kernel path must stay bitwise identical (same doc ids, same
+// Float64bits) in every retrieval mode. It lives in a test file so the
+// shipped package carries exactly one scorer.
+
+import (
+	"math"
+	"sort"
+)
+
+// normsReference recomputes the per-document tf-idf L2 norms exactly as
+// the old ensureNorms did: terms visited in sorted order, so each norm is
+// the same ordered float sum.
+func (ix *Index) normsReference() []float64 {
+	norm := make([]float64, len(ix.docLen))
+	for _, term := range ix.sortedVocab() {
+		w := ix.idf(term)
+		for _, p := range ix.postings[term] {
+			x := float64(p.tf) * w
+			norm[p.doc] += x * x
+		}
+	}
+	for i := range norm {
+		norm[i] = math.Sqrt(norm[i])
+	}
+	return norm
+}
+
+// vectorScoresReference is the historical cosine scorer.
+func (ix *Index) vectorScoresReference(terms []string) map[int32]float64 {
+	norm := ix.normsReference()
+	qCounts := queryCounts(terms)
+	scores := make(map[int32]float64)
+	qNorm := 0.0
+	for _, t := range sortedKeys(qCounts) {
+		w := ix.idf(t)
+		if w == 0 {
+			continue
+		}
+		qw := float64(qCounts[t]) * w
+		qNorm += qw * qw
+		for _, p := range ix.postings[t] {
+			scores[p.doc] += qw * float64(p.tf) * w
+		}
+	}
+	if qNorm == 0 {
+		return nil
+	}
+	qn := math.Sqrt(qNorm)
+	for d := range scores {
+		if norm[d] > 0 {
+			scores[d] /= qn * norm[d]
+		}
+	}
+	return scores
+}
+
+// bm25ScoresReference is the historical Okapi BM25 scorer.
+func (ix *Index) bm25ScoresReference(terms []string) map[int32]float64 {
+	n := len(ix.docLen)
+	if n == 0 {
+		return nil
+	}
+	totalLen := 0
+	for _, l := range ix.docLen {
+		totalLen += l
+	}
+	avgLen := float64(totalLen) / float64(n)
+	if avgLen == 0 {
+		return nil
+	}
+	qCounts := queryCounts(terms)
+	scores := make(map[int32]float64)
+	for _, t := range sortedKeys(qCounts) {
+		plist := ix.postings[t]
+		if len(plist) == 0 {
+			continue
+		}
+		df := float64(len(plist))
+		idf := math.Log(1 + (float64(n)-df+0.5)/(df+0.5))
+		for _, p := range plist {
+			tf := float64(p.tf)
+			dl := float64(ix.docLen[p.doc])
+			denom := tf + bm25K1*(1-bm25B+bm25B*dl/avgLen)
+			scores[p.doc] += idf * tf * (bm25K1 + 1) / denom
+		}
+	}
+	return scores
+}
+
+// booleanScoresReference is the historical containment scorer.
+func (ix *Index) booleanScoresReference(terms []string, requireAll bool) map[int32]float64 {
+	uniq := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		uniq[t] = true
+	}
+	counts := make(map[int32]int)
+	for t := range uniq {
+		for _, p := range ix.postings[t] {
+			counts[p.doc]++
+		}
+	}
+	scores := make(map[int32]float64, len(counts))
+	for d, c := range counts {
+		if requireAll && c < len(uniq) {
+			continue
+		}
+		scores[d] = float64(c)
+	}
+	return scores
+}
+
+// searchReference is the historical Search: score into a map, build
+// every hit, sort fully, truncate.
+func (ix *Index) searchReference(query string, opts Options) ([]Hit, error) {
+	if err := opts.fill(ix.NumDocs()); err != nil {
+		return nil, err
+	}
+	terms := Tokenize(query)
+	if len(terms) == 0 {
+		return nil, ErrBadQuery
+	}
+	var rel map[int32]float64
+	switch opts.Mode {
+	case ModeVector:
+		rel = ix.vectorScoresReference(terms)
+	case ModeBooleanAnd:
+		rel = ix.booleanScoresReference(terms, true)
+	case ModeBooleanOr:
+		rel = ix.booleanScoresReference(terms, false)
+	case ModeBM25:
+		rel = ix.bm25ScoresReference(terms)
+	default:
+		return nil, ErrBadQuery
+	}
+	if len(rel) == 0 {
+		return nil, nil
+	}
+	hits := make([]Hit, 0, len(rel))
+	maxRel := 0.0
+	for _, s := range rel {
+		if s > maxRel {
+			maxRel = s
+		}
+	}
+	var maxAuth float64
+	if opts.Authority != nil {
+		for d := range rel {
+			if a := opts.Authority[d]; a > maxAuth {
+				maxAuth = a
+			}
+		}
+	}
+	for d, s := range rel {
+		h := Hit{Doc: int(d), Relevance: s}
+		relNorm := 0.0
+		if maxRel > 0 {
+			relNorm = s / maxRel
+		}
+		if opts.Authority != nil {
+			authNorm := 0.0
+			if maxAuth > 0 {
+				authNorm = opts.Authority[d] / maxAuth
+			}
+			h.Score = (1-opts.AuthorityWeight)*relNorm + opts.AuthorityWeight*authNorm
+		} else {
+			h.Score = relNorm
+		}
+		hits = append(hits, h)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if len(hits) > opts.TopK {
+		hits = hits[:opts.TopK]
+	}
+	return hits, nil
+}

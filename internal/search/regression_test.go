@@ -1,0 +1,170 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// hitsBitwiseEqual fails the test unless the two hit lists agree exactly:
+// same length, same doc ids in the same order, and bitwise-identical
+// Score and Relevance floats.
+func hitsBitwiseEqual(t *testing.T, label string, got, want []Hit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d hits, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].Doc != want[i].Doc ||
+			math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) ||
+			math.Float64bits(got[i].Relevance) != math.Float64bits(want[i].Relevance) {
+			t.Fatalf("%s: hit %d = %+v, want bitwise %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSearchMatchesReference is the pin for the flat-kernel rewrite: for
+// every retrieval mode, across truncating and non-truncating TopK values
+// and with and without authority blending, the frozen-postings path must
+// return exactly the hits of the historical map-accumulator scorer —
+// same docs, same order, same Float64bits.
+func TestSearchMatchesReference(t *testing.T) {
+	docs := synthDocs(150)
+	ix := buildIndex(docs)
+	auth := make([]float64, len(docs))
+	for i := range auth {
+		auth[i] = 1 / float64(i%23+1)
+	}
+	queries := []string{
+		"term1",
+		"shared",
+		"term1 term2 term3 term5 term8 term13 term21 term34",
+		"shared common everywhere unique3 term7",
+		"term1 term1 term1 shared", // repeated query term
+		"term2 zzz-absent",         // one term missing from the vocabulary
+		"zzz-absent qqq-absent",    // fully unknown query
+		"unique5 unique6 unique7",  // singleton postings
+	}
+	modes := []struct {
+		name string
+		mode Mode
+	}{
+		{"vector", ModeVector},
+		{"boolean-and", ModeBooleanAnd},
+		{"boolean-or", ModeBooleanOr},
+		{"bm25", ModeBM25},
+	}
+	type variant struct {
+		name string
+		opts Options
+	}
+	variants := []variant{
+		{"k1", Options{TopK: 1}},
+		{"k10", Options{TopK: 10}},
+		{"k-all", Options{TopK: len(docs)}},
+		{"k-overshoot", Options{TopK: 10 * len(docs)}},
+		{"auth", Options{TopK: 20, Authority: auth}},
+		{"auth-w1", Options{TopK: 20, Authority: auth, AuthorityWeight: 1}},
+	}
+	for _, m := range modes {
+		for _, q := range queries {
+			for _, v := range variants {
+				opts := v.opts
+				opts.Mode = m.mode
+				label := fmt.Sprintf("%s/%s/%q", m.name, v.name, q)
+				want, werr := ix.searchReference(q, opts)
+				got, gerr := ix.Search(q, opts)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("%s: err %v, reference err %v", label, gerr, werr)
+				}
+				hitsBitwiseEqual(t, label, got, want)
+			}
+		}
+	}
+}
+
+// TestSearchMatchesReferenceAfterIncrementalAdd pins parity across the
+// freeze/invalidate cycle: search, add more documents (invalidating the
+// frozen view), and search again.
+func TestSearchMatchesReferenceAfterIncrementalAdd(t *testing.T) {
+	docs := synthDocs(60)
+	ix := buildIndex(docs)
+	q := "shared common term3 term8"
+	for round := 0; round < 3; round++ {
+		for _, mode := range []Mode{ModeVector, ModeBM25, ModeBooleanOr} {
+			opts := Options{Mode: mode, TopK: 15}
+			want, err := ix.searchReference(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hitsBitwiseEqual(t, fmt.Sprintf("round %d mode %d", round, mode), got, want)
+		}
+		ix.AddAll(synthDocs(10)) // duplicates existing docs: heavier postings
+	}
+}
+
+// TestFrozenMatchesReferenceNorms pins the freeze-time precomputation
+// against the historical lazy norm computation, bit for bit.
+func TestFrozenMatchesReferenceNorms(t *testing.T) {
+	ix := buildIndex(synthDocs(90))
+	want := ix.normsReference()
+	f := ix.frozen()
+	if len(f.norm) != len(want) {
+		t.Fatalf("frozen has %d norms, want %d", len(f.norm), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(f.norm[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("norm[%d] = %x, want bitwise %x", i, f.norm[i], want[i])
+		}
+	}
+	for i := range f.start[:len(f.start)-1] {
+		if f.start[i] > f.start[i+1] {
+			t.Fatalf("start offsets not monotone at term %d", i)
+		}
+		for j := f.start[i] + 1; j < f.start[i+1]; j++ {
+			if f.docs[j-1] >= f.docs[j] {
+				t.Fatalf("postings of term %d not in ascending doc order", i)
+			}
+		}
+	}
+}
+
+// TestTopKSelection exercises the bounded heap directly against a full
+// sort, over adversarial score patterns (many exact ties).
+func TestTopKSelection(t *testing.T) {
+	hits := make([]Hit, 200)
+	for i := range hits {
+		hits[i] = Hit{Doc: i, Score: float64(i % 7), Relevance: float64(i)}
+	}
+	for _, k := range []int{1, 2, 7, 50, 200} {
+		top := newTopK(k)
+		for _, h := range hits {
+			top.offer(h)
+		}
+		got := top.ranked()
+		if len(got) != k {
+			t.Fatalf("k=%d: %d hits", k, len(got))
+		}
+		// Expected: scores descending, ties by ascending doc.
+		for i := 1; i < len(got); i++ {
+			if ranksAfter(got[i-1], got[i]) {
+				t.Fatalf("k=%d: hits %d and %d out of order: %+v %+v", k, i-1, i, got[i-1], got[i])
+			}
+		}
+		// The worst retained hit must rank no worse than every rejected hit.
+		last := got[len(got)-1]
+		kept := make(map[int]bool, k)
+		for _, h := range got {
+			kept[h.Doc] = true
+		}
+		for _, h := range hits {
+			if !kept[h.Doc] && ranksAfter(last, h) {
+				t.Fatalf("k=%d: rejected %+v ranks before retained %+v", k, h, last)
+			}
+		}
+	}
+}

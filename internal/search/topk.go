@@ -1,0 +1,75 @@
+package search
+
+import "sort"
+
+// topK selects the best k hits under the ranking order — score
+// descending, then doc id ascending — without sorting the full candidate
+// set. It is a bounded min-heap whose root is the worst hit retained, so
+// once the heap is full each losing candidate is rejected with a single
+// comparison and each winner costs O(log k). Because the comparator is a
+// total order (doc ids are unique), the selected set and its final order
+// are identical to sorting every candidate and truncating — the contract
+// TestSearchMatchesReference pins bitwise.
+type topK struct {
+	k    int
+	hits []Hit
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, hits: make([]Hit, 0, k)}
+}
+
+// ranksAfter reports whether a ranks strictly after b: lower score, or
+// equal score and higher doc id. Two strict comparisons express the exact
+// tie-break without a float equality test.
+func ranksAfter(a, b Hit) bool {
+	if a.Score < b.Score {
+		return true
+	}
+	if b.Score < a.Score {
+		return false
+	}
+	return a.Doc > b.Doc
+}
+
+// offer considers one candidate hit.
+func (t *topK) offer(h Hit) {
+	if len(t.hits) < t.k {
+		t.hits = append(t.hits, h)
+		i := len(t.hits) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !ranksAfter(t.hits[i], t.hits[p]) {
+				break
+			}
+			t.hits[i], t.hits[p] = t.hits[p], t.hits[i]
+			i = p
+		}
+		return
+	}
+	if !ranksAfter(t.hits[0], h) {
+		return // h is no better than the worst retained hit
+	}
+	t.hits[0] = h
+	i, n := 0, len(t.hits)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && ranksAfter(t.hits[l], t.hits[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && ranksAfter(t.hits[r], t.hits[worst]) {
+			worst = r
+		}
+		if worst == i {
+			break
+		}
+		t.hits[i], t.hits[worst] = t.hits[worst], t.hits[i]
+		i = worst
+	}
+}
+
+// ranked returns the retained hits in final ranking order.
+func (t *topK) ranked() []Hit {
+	sort.Slice(t.hits, func(i, j int) bool { return ranksAfter(t.hits[j], t.hits[i]) })
+	return t.hits
+}
