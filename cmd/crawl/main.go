@@ -48,13 +48,20 @@ func run(args []string, out io.Writer) error {
 		maxPages    = fs.Int("maxpages", 0, "total page cap (0 = unlimited)")
 		maxPerSite  = fs.Int("maxpersite", 200000, "per-site page cap (paper: 200,000)")
 		concurrency = fs.Int("concurrency", 8, "parallel fetchers")
-		timeout     = fs.Duration("timeout", 30*time.Second, "per-request timeout")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request timeout (0 = none)")
+		retries     = fs.Int("retries", 3, "attempts per URL on transient failures (1 = no retries)")
+		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per attempt)")
+		retryMax    = fs.Duration("retry-max", 5*time.Second, "backoff ceiling, Retry-After included")
+		retrySeed   = fs.Int64("retry-seed", 1, "seed of the deterministic backoff jitter")
+		hostErrors  = fs.Int("host-errors", 0, "per-host error budget before the host is skipped (0 = unlimited)")
 		archiveDir  = fs.String("archive", "", "pagestore directory to archive raw bodies into (optional)")
 		checkpoint  = fs.String("checkpoint", "", "checkpoint file: resumed if present; written on interrupt (Ctrl-C)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The crawler bounds each page attempt itself; the client-level
+	// timeout covers the seed-list fetch below.
 	client := &http.Client{Timeout: *timeout}
 
 	var seeds []string
@@ -100,6 +107,14 @@ func run(args []string, out io.Writer) error {
 		MaxPagesPerSite: *maxPerSite,
 		Concurrency:     *concurrency,
 		Client:          client,
+		RequestTimeout:  *timeout,
+		MaxHostErrors:   *hostErrors,
+		Retry: crawler.Retry{
+			MaxAttempts: *retries,
+			BaseDelay:   *retryBase,
+			MaxDelay:    *retryMax,
+			Seed:        *retrySeed,
+		},
 	}
 	if *archiveDir != "" {
 		arch, err := pagestore.Open(*archiveDir, pagestore.Options{})
@@ -144,7 +159,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if res.Checkpoint != nil {
+	if res.Interrupted {
 		if *checkpoint == "" {
 			return fmt.Errorf("crawl interrupted but no -checkpoint path to save to")
 		}
@@ -155,14 +170,28 @@ func run(args []string, out io.Writer) error {
 			res.Stats.Fetched, *checkpoint)
 		return nil
 	}
-	if *checkpoint != "" {
-		// Completed: a stale checkpoint would resurrect the old frontier.
+	switch {
+	case res.Checkpoint != nil && *checkpoint != "":
+		// Completed, but some URLs failed transiently: save them so a
+		// re-run retries exactly those.
+		if err := res.Checkpoint.Save(*checkpoint); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d URLs failed transiently; checkpoint saved to %s (re-run to retry them)\n",
+			len(res.Checkpoint.Frontier), *checkpoint)
+	case res.Checkpoint != nil:
+		fmt.Fprintf(out, "warning: %d URLs failed transiently and were dropped (pass -checkpoint to keep them)\n",
+			len(res.Checkpoint.Frontier))
+	case *checkpoint != "":
+		// Completed cleanly: a stale checkpoint would resurrect the old
+		// frontier.
 		if err := os.Remove(*checkpoint); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "fetched %d pages (%d errors, %d skipped by caps): %d nodes, %d links\n",
-		res.Stats.Fetched, res.Stats.Errors, res.Stats.SkippedCaps,
+	fmt.Fprintf(out, "fetched %d pages (%d errors, %d retries, %d timeouts, %d rate-limited, %d hosts degraded, %d skipped by caps): %d nodes, %d links\n",
+		res.Stats.Fetched, res.Stats.Errors, res.Stats.Retries, res.Stats.Timeouts,
+		res.Stats.RateLimited, res.Stats.HostsDegraded, res.Stats.SkippedCaps,
 		res.Graph.NumNodes(), res.Graph.NumEdges())
 
 	snaps = append(snaps, snapshot.Snapshot{Label: lbl, Time: wk, Graph: res.Graph})

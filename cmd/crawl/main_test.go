@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"pagequality/internal/crawler"
@@ -257,5 +260,146 @@ func TestCrawlCLIResumeFromCheckpoint(t *testing.T) {
 	}
 	if snaps[0].Graph.NumNodes() == 0 {
 		t.Fatal("empty resumed snapshot")
+	}
+}
+
+// TestCrawlCLIRetryFlags drives the retry engine end to end from the
+// CLI: with retries enabled a transiently failing page is recovered and
+// counted; with -retries 1 it is dropped with a warning instead.
+func TestCrawlCLIRetryFlags(t *testing.T) {
+	flakySite := func() *httptest.Server {
+		failed := false
+		var mu sync.Mutex
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/":
+				fmt.Fprint(w, `<a href="/flaky">f</a>`)
+			case "/flaky":
+				mu.Lock()
+				first := !failed
+				failed = true
+				mu.Unlock()
+				if first {
+					http.Error(w, "busy", http.StatusServiceUnavailable)
+					return
+				}
+				fmt.Fprint(w, "recovered")
+			case "/robots.txt":
+				fmt.Fprint(w, "User-agent: *\nDisallow:\n")
+			default:
+				http.NotFound(w, r)
+			}
+		}))
+	}
+
+	ts := flakySite()
+	defer ts.Close()
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-seed", ts.URL + "/", "-store", filepath.Join(dir, "a.pqs"),
+		"-retries", "3", "-retry-base", "1ms", "-retry-max", "2ms",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fetched 2 pages (0 errors, 1 retries") {
+		t.Fatalf("retry not reported:\n%s", buf.String())
+	}
+
+	ts2 := flakySite()
+	defer ts2.Close()
+	buf.Reset()
+	if err := run([]string{
+		"-seed", ts2.URL + "/", "-store", filepath.Join(dir, "b.pqs"),
+		"-retries", "1",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 URLs failed transiently and were dropped") {
+		t.Fatalf("transient drop not warned:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "fetched 1 pages (1 errors, 0 retries") {
+		t.Fatalf("stats wrong for -retries 1:\n%s", buf.String())
+	}
+}
+
+// TestCrawlCLITransientCheckpointRetry checks the completed-with-leftovers
+// path: a crawl that exhausts retries on one URL still writes its
+// snapshot, saves the failures to the checkpoint, and a re-run against
+// the recovered site fetches exactly the leftover URL.
+func TestCrawlCLITransientCheckpointRetry(t *testing.T) {
+	healthy := false
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/":
+			fmt.Fprint(w, `<a href="/down">d</a>`)
+		case "/down":
+			mu.Lock()
+			up := healthy
+			mu.Unlock()
+			if !up {
+				http.Error(w, "down", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprint(w, "back up")
+		case "/robots.txt":
+			fmt.Fprint(w, "User-agent: *\nDisallow:\n")
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+	dir := t.TempDir()
+	store := filepath.Join(dir, "s.pqs")
+	ckpt := filepath.Join(dir, "crawl.ckpt")
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-seed", ts.URL + "/", "-store", store, "-checkpoint", ckpt,
+		"-retries", "2", "-retry-base", "1ms", "-retry-max", "2ms", "-label", "t1", "-week", "0",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "checkpoint saved to") {
+		t.Fatalf("leftover checkpoint not saved:\n%s", buf.String())
+	}
+	snaps, err := snapshot.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Graph.NumNodes() != 1 {
+		t.Fatalf("first snapshot wrong: %d snaps", len(snaps))
+	}
+
+	mu.Lock()
+	healthy = true
+	mu.Unlock()
+	buf.Reset()
+	if err := run([]string{
+		"-seed", ts.URL + "/", "-store", store, "-checkpoint", ckpt,
+		"-retries", "2", "-retry-base", "1ms", "-label", "t2", "-week", "4",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resuming from") {
+		t.Fatalf("checkpoint not resumed:\n%s", buf.String())
+	}
+	// Stats are cumulative across the resume: 1 prior page + the leftover,
+	// with the prior run's error and retry still on the books.
+	if !strings.Contains(buf.String(), "fetched 2 pages (1 errors, 1 retries") {
+		t.Fatalf("re-run should fetch only the leftover URL:\n%s", buf.String())
+	}
+	snaps, err = snapshot.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("store has %d snapshots", len(snaps))
+	}
+	if _, ok := snaps[1].Graph.Lookup(ts.URL + "/down"); !ok {
+		t.Fatal("re-run snapshot missing the recovered URL")
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("clean completion left the checkpoint behind (err=%v)", err)
 	}
 }

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	serve -in web.pqs [-snapshot t3] [-addr 127.0.0.1:8080]
+//	serve -in web.pqs -fault-error 0.2 -fault-ratelimit 0.1 -fault-seed 7
+//
+// The -fault-* flags wrap the site in the deterministic fault-injection
+// middleware, turning it into a hostile-server testbed for crawler
+// resilience work.
 package main
 
 import (
@@ -49,9 +54,14 @@ func newServer(addr string, h http.Handler) *http.Server {
 func run(args []string, out io.Writer, listen func(addr string, h http.Handler) error) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		in    = fs.String("in", "web.pqs", "snapshot store path")
-		label = fs.String("snapshot", "", "snapshot label (default: last)")
-		addr  = fs.String("addr", "127.0.0.1:8080", "listen address")
+		in             = fs.String("in", "web.pqs", "snapshot store path")
+		label          = fs.String("snapshot", "", "snapshot label (default: last)")
+		addr           = fs.String("addr", "127.0.0.1:8080", "listen address")
+		faultError     = fs.Float64("fault-error", 0, "probability of an injected 500 per request")
+		faultRateLimit = fs.Float64("fault-ratelimit", 0, "probability of an injected 429 (Retry-After: 1) per request")
+		faultTimeout   = fs.Float64("fault-timeout", 0, "probability of stalling a request until the client gives up")
+		faultLatency   = fs.Duration("fault-latency", 0, "fixed delay added to every non-faulted response")
+		faultSeed      = fs.Int64("fault-seed", 1, "seed of the deterministic fault decisions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +69,22 @@ func run(args []string, out io.Writer, listen func(addr string, h http.Handler) 
 	h, info, err := newHandler(*in, *label)
 	if err != nil {
 		return err
+	}
+	fc := webserver.FaultConfig{
+		ErrorRate:     *faultError,
+		RateLimitRate: *faultRateLimit,
+		TimeoutRate:   *faultTimeout,
+		Latency:       *faultLatency,
+		Seed:          *faultSeed,
+	}
+	if fc.Active() {
+		wrapped, err := webserver.WithFaults(h, fc)
+		if err != nil {
+			return err
+		}
+		h = wrapped
+		info += fmt.Sprintf(" [faults: err=%g ratelimit=%g timeout=%g latency=%v seed=%d]",
+			fc.ErrorRate, fc.RateLimitRate, fc.TimeoutRate, fc.Latency, fc.Seed)
 	}
 	fmt.Fprintf(out, "serving %s on http://%s/ (seeds at /seeds.txt)\n", info, *addr)
 	return listen(*addr, h)

@@ -122,3 +122,57 @@ func TestRunWiresListener(t *testing.T) {
 		t.Fatalf("banner missing:\n%s", buf.String())
 	}
 }
+
+// TestRunFaultFlags checks that the -fault-* flags wrap the site in the
+// fault middleware: the banner advertises the config, a guaranteed-fault
+// handler returns 429 with Retry-After, and bad rates are rejected.
+func TestRunFaultFlags(t *testing.T) {
+	path := storeFixture(t)
+	var buf bytes.Buffer
+	var captured http.Handler
+	listen := func(addr string, h http.Handler) error {
+		captured = h
+		return nil
+	}
+	if err := run([]string{
+		"-in", path, "-addr", "127.0.0.1:0",
+		"-fault-ratelimit", "1", "-fault-seed", "7",
+	}, &buf, listen); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[faults: err=0 ratelimit=1 timeout=0 latency=0s seed=7]") {
+		t.Fatalf("banner missing fault config:\n%s", buf.String())
+	}
+	rec := httptest.NewRecorder()
+	captured.ServeHTTP(rec, httptest.NewRequest("GET", "/seeds.txt", nil))
+	if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("fault handler returned %d (Retry-After %q)", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	if err := run([]string{"-in", path, "-fault-error", "1.5"}, &buf, listen); err == nil {
+		t.Fatal("out-of-range fault rate accepted")
+	}
+}
+
+// TestRunWithoutFaultFlagsServesDirectly pins the zero-cost default: no
+// -fault-* flags means the raw site handler, no middleware and no banner
+// suffix.
+func TestRunWithoutFaultFlagsServesDirectly(t *testing.T) {
+	path := storeFixture(t)
+	var buf bytes.Buffer
+	var captured http.Handler
+	listen := func(addr string, h http.Handler) error {
+		captured = h
+		return nil
+	}
+	if err := run([]string{"-in", path, "-addr", "127.0.0.1:0"}, &buf, listen); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "faults") {
+		t.Fatalf("fault banner without fault flags:\n%s", buf.String())
+	}
+	rec := httptest.NewRecorder()
+	captured.ServeHTTP(rec, httptest.NewRequest("GET", "/seeds.txt", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("seeds status %d", rec.Code)
+	}
+}

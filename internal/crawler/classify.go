@@ -1,0 +1,103 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// HTTPError reports a non-200 response, carrying enough structure for the
+// retry engine to classify it and honour the server's Retry-After hint.
+type HTTPError struct {
+	URL    string
+	Status int
+	// RetryAfter is the parsed Retry-After delay (zero when the header was
+	// absent or unparseable); servers send it with 429 and 503.
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("crawler: %s: status %d", e.URL, e.Status)
+}
+
+// errClass partitions fetch failures by whether re-requesting can help.
+type errClass int
+
+const (
+	// classPermanent failures will not resolve on their own: 404s, other
+	// non-retryable statuses, malformed URLs, unparseable documents.
+	classPermanent errClass = iota
+	// classTransient failures are expected to clear: network errors,
+	// timeouts, 5xx server errors, and 429 rate limiting.
+	classTransient
+)
+
+// classify maps a fetch error to its retryability class.
+func classify(err error) errClass {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		switch {
+		case he.Status == http.StatusTooManyRequests,
+			he.Status == http.StatusRequestTimeout,
+			he.Status >= 500:
+			return classTransient
+		default:
+			return classPermanent
+		}
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Op == "parse" {
+		return classPermanent // malformed URL: no request was ever sent
+	}
+	var ne net.Error
+	if errors.As(err, &ne) || errors.Is(err, context.DeadlineExceeded) {
+		return classTransient // transport-level failure or timeout
+	}
+	return classPermanent // e.g. the document failed to parse
+}
+
+// isTimeout reports whether the attempt failed by exceeding a deadline
+// (the per-request timeout or a transport-level one).
+func isTimeout(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// isRateLimited reports whether the attempt was answered with 429.
+func isRateLimited(err error) bool {
+	var he *HTTPError
+	return errors.As(err, &he) && he.Status == http.StatusTooManyRequests
+}
+
+// retryAfterOf extracts the server's Retry-After hint from an attempt
+// error, or zero when none was given.
+func retryAfterOf(err error) time.Duration {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads a response's Retry-After header, accepting the
+// delay-seconds form (the HTTP-date form is ignored — our synthetic
+// servers never send it, and a zero hint just falls back to backoff).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

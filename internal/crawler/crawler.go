@@ -6,9 +6,18 @@
 // and reconstructs the directed link graph. Pages are keyed by their
 // rel=canonical URL when present, so crawls of different server instances
 // align snapshot to snapshot.
+//
+// The paper's crawls ran for months against 154 real sites, so the
+// substrate is built to survive flaky servers without distorting the
+// graph: transient failures (network errors, timeouts, 429/503) retry
+// with deterministic exponential backoff, permanently failed URLs refund
+// the page budgets they held, hosts that keep failing degrade into a
+// skip state instead of burning the caps, and whatever could not be
+// fetched this run survives into the checkpoint for the next one.
 package crawler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"pagequality/internal/graph"
 )
@@ -36,6 +46,17 @@ type Config struct {
 	Client *http.Client
 	// MaxBodyBytes bounds how much of each response is read (default 1 MiB).
 	MaxBodyBytes int64
+	// RequestTimeout bounds each individual fetch attempt via its request
+	// context. Zero means no per-attempt deadline (the Client's own
+	// Timeout, if any, still applies).
+	RequestTimeout time.Duration
+	// Retry configures transient-failure retries and backoff.
+	Retry Retry
+	// MaxHostErrors is the per-host error budget: once this many URLs of
+	// one host have ultimately failed (after retries), the host degrades —
+	// its remaining URLs are skipped without fetching and requeued via the
+	// checkpoint instead of burning the page caps. Zero disables degrading.
+	MaxHostErrors int
 	// OnFetch, when non-nil, receives every successfully fetched document
 	// (e.g. to archive it into a pagestore). It is called from multiple
 	// goroutines and must be safe for concurrent use.
@@ -83,13 +104,23 @@ func (c *Config) fill() error {
 	if c.MaxPagesPerSite < 0 || c.MaxPages < 0 {
 		return fmt.Errorf("%w: negative page caps", ErrBadConfig)
 	}
-	return nil
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("%w: RequestTimeout=%v", ErrBadConfig, c.RequestTimeout)
+	}
+	if c.MaxHostErrors < 0 {
+		return fmt.Errorf("%w: MaxHostErrors=%d", ErrBadConfig, c.MaxHostErrors)
+	}
+	return c.Retry.fill()
 }
 
 // Stats summarises a crawl.
 type Stats struct {
 	Fetched       int // pages fetched successfully
-	Errors        int // transport or HTTP errors
+	Errors        int // URLs that ultimately failed, after retries
+	Retries       int // extra attempts made after transient failures
+	Timeouts      int // attempts that exceeded a deadline
+	RateLimited   int // attempts answered 429 Too Many Requests
+	HostsDegraded int // hosts disabled after exhausting MaxHostErrors
 	SkippedCaps   int // frontier entries dropped by the page caps
 	SkippedRobots int // frontier entries disallowed by robots.txt
 }
@@ -99,8 +130,11 @@ type Stats struct {
 type Result struct {
 	Graph *graph.Graph
 	Stats Stats
-	// Checkpoint is non-nil when the crawl was interrupted; pass it as
-	// Config.Resume to continue.
+	// Interrupted reports that Config.Interrupt stopped the crawl early.
+	Interrupted bool
+	// Checkpoint is non-nil when the crawl was interrupted or when some
+	// URLs failed transiently (they sit in its Frontier); pass it as
+	// Config.Resume to continue or retry.
 	Checkpoint *Checkpoint
 }
 
@@ -111,120 +145,95 @@ type page struct {
 	links     []string // normalised absolute target URLs
 }
 
+// robotsEntry is one host's lazily fetched rules; once guarantees a single
+// fetch per host even when several workers miss the cache together.
+type robotsEntry struct {
+	once  sync.Once
+	rules *robotsRules
+}
+
+// errHostDegraded marks a URL that was skipped, not fetched, because its
+// host exhausted the error budget; it is requeued via the checkpoint.
+var errHostDegraded = errors.New("crawler: host degraded")
+
+// crawl is the shared state of one Crawl invocation. All maps and slices
+// are guarded by mu; fetching and backoff sleeps happen without it.
+type crawl struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	visited  map[string]bool         // every URL ever admitted (dedup)
+	admitted int                     // URLs currently holding MaxPages budget
+	perSite  map[string]int          // URLs currently holding per-site budget
+	robots   map[string]*robotsEntry // per-host robots rules
+	hostErrs map[string]int          // ultimately-failed URLs per host
+	degraded map[string]bool         // hosts past the error budget
+
+	pages           []page
+	stats           Stats
+	pending         int
+	frontier        []string
+	failedTransient []string // exhausted retries or degraded host: requeue
+	failedPermanent []string // never retry
+	interrupted     bool
+}
+
 // Crawl performs a full crawl and reconstructs the link graph.
 func Crawl(cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-
-	type fetchResult struct {
-		pg  page
-		err error
+	c := &crawl{
+		cfg:      cfg,
+		visited:  make(map[string]bool),
+		perSite:  make(map[string]int),
+		robots:   make(map[string]*robotsEntry),
+		hostErrs: make(map[string]int),
+		degraded: make(map[string]bool),
 	}
-
-	var (
-		mu          sync.Mutex
-		visited     = make(map[string]bool)
-		perSite     = make(map[string]int)
-		robots      = make(map[string]*robotsRules)
-		pages       []page
-		stats       Stats
-		pending     int
-		frontier    []string
-		interrupted bool
-	)
-	cond := sync.NewCond(&mu)
+	c.cond = sync.NewCond(&c.mu)
 
 	if cfg.Resume != nil {
-		stats = cfg.Resume.Stats
+		c.stats = cfg.Resume.Stats
 		for _, u := range cfg.Resume.Visited {
-			visited[u] = true
+			c.visited[u] = true
+			c.admitted++
 			if cfg.MaxPagesPerSite > 0 {
-				perSite[hostOf(u)]++
+				c.perSite[hostOf(u)]++
 			}
+		}
+		// Permanently failed URLs are remembered (never re-fetched) but
+		// hold no budget.
+		for _, u := range cfg.Resume.Failed {
+			c.visited[u] = true
 		}
 		// Saved frontier entries are already visited; re-enqueue directly.
 		for _, u := range cfg.Resume.Frontier {
-			frontier = append(frontier, u)
-			pending++
+			c.frontier = append(c.frontier, u)
+			c.pending++
 		}
 	}
 	if cfg.Interrupt != nil {
 		go func() {
 			<-cfg.Interrupt
-			mu.Lock()
-			interrupted = true
-			cond.Broadcast()
-			mu.Unlock()
+			c.mu.Lock()
+			c.interrupted = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
 		}()
 	}
 
-	// robotsFor lazily loads one host's rules (callers hold mu; the fetch
-	// happens without it).
-	robotsFor := func(host string) *robotsRules {
-		if cfg.IgnoreRobots {
-			return nil
-		}
-		if r, ok := robots[host]; ok {
-			return r
-		}
-		mu.Unlock()
-		r := fetchRobots(cfg.Client, host)
-		mu.Lock()
-		if prev, ok := robots[host]; ok {
-			return prev // another goroutine raced us
-		}
-		robots[host] = r
-		return r
-	}
-
-	// enqueueLocked admits u to the frontier if new, robots-allowed and
-	// under the caps.
-	enqueueLocked := func(u string) {
-		if visited[u] {
-			return
-		}
-		if !cfg.IgnoreRobots {
-			pu, err := url.Parse(u)
-			if err != nil {
-				return
-			}
-			if !robotsFor(hostOf(u)).allowed(pu.Path) {
-				stats.SkippedRobots++
-				return
-			}
-			if visited[u] {
-				return // robots fetch released the lock; re-check
-			}
-		}
-		if cfg.MaxPages > 0 && len(visited) >= cfg.MaxPages {
-			stats.SkippedCaps++
-			return
-		}
-		if cfg.MaxPagesPerSite > 0 {
-			h := hostOf(u)
-			if perSite[h] >= cfg.MaxPagesPerSite {
-				stats.SkippedCaps++
-				return
-			}
-			perSite[h]++
-		}
-		visited[u] = true
-		frontier = append(frontier, u)
-		pending++
-		cond.Signal()
-	}
-
-	mu.Lock()
+	c.mu.Lock()
 	for _, s := range cfg.Seeds {
 		n, err := normalizeURL(s, nil)
 		if err != nil {
-			mu.Unlock()
+			c.mu.Unlock()
 			return nil, fmt.Errorf("crawler: seed %q: %w", s, err)
 		}
-		enqueueLocked(n)
+		c.enqueueLocked(n)
 	}
-	mu.Unlock()
+	c.mu.Unlock()
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -232,84 +241,255 @@ func Crawl(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				for len(frontier) == 0 && pending > 0 && !interrupted {
-					cond.Wait()
-				}
-				if interrupted || len(frontier) == 0 {
-					// Done or interrupted; wake the others and leave the
-					// remaining frontier for the checkpoint.
-					cond.Broadcast()
-					mu.Unlock()
+				u, ok := c.next()
+				if !ok {
 					return
 				}
-				u := frontier[len(frontier)-1]
-				frontier = frontier[:len(frontier)-1]
-				mu.Unlock()
-
-				pg, body, err := fetch(cfg.Client, u, cfg.MaxBodyBytes)
-				if err == nil && cfg.OnFetch != nil {
-					cfg.OnFetch(u, body)
-				}
-
-				mu.Lock()
-				if err != nil {
-					stats.Errors++
-				} else {
-					stats.Fetched++
-					pages = append(pages, pg)
-					for _, link := range pg.links {
-						enqueueLocked(link)
-					}
-				}
-				pending--
-				if pending == 0 {
-					cond.Broadcast()
-				}
-				mu.Unlock()
+				pg, body, err := c.fetchWithRetry(u)
+				c.complete(u, pg, body, err)
 			}
 		}()
 	}
 	wg.Wait()
 
-	res, err := assemble(pages, stats)
+	res, err := assemble(c.pages, c.stats)
 	if err != nil {
 		return nil, err
 	}
-	mu.Lock()
-	if interrupted {
-		ck := &Checkpoint{
-			Visited:  make([]string, 0, len(visited)),
-			Frontier: append([]string(nil), frontier...),
-			Stats:    stats,
-		}
-		for u := range visited {
-			ck.Visited = append(ck.Visited, u)
-		}
-		sort.Strings(ck.Visited)
-		res.Checkpoint = ck
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res.Interrupted = c.interrupted
+	if c.interrupted || len(c.failedTransient) > 0 {
+		res.Checkpoint = c.checkpointLocked()
 	}
-	mu.Unlock()
 	return res, nil
 }
 
+// next pops a frontier URL, blocking until one appears or the crawl ends.
+func (c *crawl) next() (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.frontier) == 0 && c.pending > 0 && !c.interrupted {
+		c.cond.Wait()
+	}
+	if c.interrupted || len(c.frontier) == 0 {
+		// Done or interrupted; wake the others and leave the remaining
+		// frontier for the checkpoint.
+		c.cond.Broadcast()
+		return "", false
+	}
+	u := c.frontier[len(c.frontier)-1]
+	c.frontier = c.frontier[:len(c.frontier)-1]
+	return u, true
+}
+
+// fetchWithRetry drives the retry engine for one URL: transient failures
+// back off (deterministic jitter, Retry-After honoured) and try again up
+// to Retry.MaxAttempts; permanent failures and degraded hosts return
+// immediately. No locks are held while fetching or sleeping.
+func (c *crawl) fetchWithRetry(u string) (page, []byte, error) {
+	host := hostOf(u)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		degraded := c.degraded[host]
+		stopped := c.interrupted
+		c.mu.Unlock()
+		if degraded {
+			return page{}, nil, errHostDegraded
+		}
+		if stopped && attempt > 1 {
+			return page{}, nil, lastErr // shutting down: stop retrying
+		}
+		pg, body, err := fetch(c.cfg.Client, u, c.cfg.MaxBodyBytes, c.cfg.RequestTimeout)
+		if err == nil {
+			return pg, body, nil
+		}
+		lastErr = err
+		c.mu.Lock()
+		if isTimeout(err) {
+			c.stats.Timeouts++
+		}
+		if isRateLimited(err) {
+			c.stats.RateLimited++
+		}
+		c.mu.Unlock()
+		if classify(err) != classTransient || attempt >= c.cfg.Retry.MaxAttempts {
+			return page{}, nil, err
+		}
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+		c.cfg.Retry.Sleep(c.cfg.Retry.backoff(u, attempt, retryAfterOf(err)))
+	}
+}
+
+// complete records one URL's outcome: successes feed the graph and the
+// frontier; failures refund the page budgets they held, charge the host's
+// error budget, and are remembered for checkpoint requeue (transient) or
+// permanently skipped.
+func (c *crawl) complete(u string, pg page, body []byte, err error) {
+	if err == nil && c.cfg.OnFetch != nil {
+		c.cfg.OnFetch(u, body)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case err == nil:
+		c.stats.Fetched++
+		c.pages = append(c.pages, pg)
+		for _, link := range pg.links {
+			c.enqueueLocked(link)
+		}
+	case errors.Is(err, errHostDegraded):
+		// Not the URL's own failure: requeue it without charging the host.
+		c.refundLocked(u)
+		c.failedTransient = append(c.failedTransient, u)
+	default:
+		c.stats.Errors++
+		c.refundLocked(u)
+		host := hostOf(u)
+		c.hostErrs[host]++
+		if c.cfg.MaxHostErrors > 0 && c.hostErrs[host] >= c.cfg.MaxHostErrors && !c.degraded[host] {
+			c.degraded[host] = true
+			c.stats.HostsDegraded++
+		}
+		if classify(err) == classTransient {
+			c.failedTransient = append(c.failedTransient, u)
+		} else {
+			c.failedPermanent = append(c.failedPermanent, u)
+		}
+	}
+	c.pending--
+	if c.pending == 0 {
+		c.cond.Broadcast()
+	}
+}
+
+// refundLocked returns the page budgets a failed URL was holding, so a
+// site answering errors cannot exhaust its own cap with zero pages.
+func (c *crawl) refundLocked(u string) {
+	c.admitted--
+	if c.cfg.MaxPagesPerSite > 0 {
+		c.perSite[hostOf(u)]--
+	}
+}
+
+// robotsForLocked lazily loads one host's rules. Callers hold mu; the
+// fetch happens without it, and sync.Once guarantees one fetch per host
+// no matter how many workers miss the cache concurrently.
+func (c *crawl) robotsForLocked(host string) *robotsRules {
+	if c.cfg.IgnoreRobots {
+		return nil
+	}
+	e, ok := c.robots[host]
+	if !ok {
+		e = &robotsEntry{}
+		c.robots[host] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.rules = fetchRobots(c.cfg.Client, host, c.cfg.RequestTimeout)
+	})
+	c.mu.Lock()
+	return e.rules
+}
+
+// enqueueLocked admits u to the frontier if new, robots-allowed and under
+// the caps.
+func (c *crawl) enqueueLocked(u string) {
+	if c.visited[u] {
+		return
+	}
+	if !c.cfg.IgnoreRobots {
+		pu, err := url.Parse(u)
+		if err != nil {
+			return
+		}
+		if !c.robotsForLocked(hostOf(u)).allowed(pu.Path) {
+			c.stats.SkippedRobots++
+			return
+		}
+		if c.visited[u] {
+			return // robots fetch released the lock; re-check
+		}
+	}
+	if c.cfg.MaxPages > 0 && c.admitted >= c.cfg.MaxPages {
+		c.stats.SkippedCaps++
+		return
+	}
+	if c.cfg.MaxPagesPerSite > 0 {
+		h := hostOf(u)
+		if c.perSite[h] >= c.cfg.MaxPagesPerSite {
+			c.stats.SkippedCaps++
+			return
+		}
+		c.perSite[h]++
+	}
+	c.visited[u] = true
+	c.admitted++
+	c.frontier = append(c.frontier, u)
+	c.pending++
+	c.cond.Signal()
+}
+
+// checkpointLocked assembles the resume state: transiently failed URLs
+// rejoin the frontier so the next run retries them, permanently failed
+// ones are carried separately (remembered, never re-fetched, holding no
+// budget).
+func (c *crawl) checkpointLocked() *Checkpoint {
+	permanent := make(map[string]bool, len(c.failedPermanent))
+	for _, u := range c.failedPermanent {
+		permanent[u] = true
+	}
+	ck := &Checkpoint{
+		Visited:  make([]string, 0, len(c.visited)),
+		Frontier: append(append([]string(nil), c.frontier...), c.failedTransient...),
+		Failed:   append([]string(nil), c.failedPermanent...),
+		Stats:    c.stats,
+	}
+	for u := range c.visited {
+		if !permanent[u] {
+			ck.Visited = append(ck.Visited, u)
+		}
+	}
+	sort.Strings(ck.Visited)
+	sort.Strings(ck.Frontier)
+	sort.Strings(ck.Failed)
+	return ck
+}
+
 // fetch downloads one page and extracts its links, returning the raw body
-// for optional archiving.
-func fetch(client *http.Client, u string, maxBody int64) (page, []byte, error) {
-	resp, err := client.Get(u)
+// for optional archiving. A positive timeout bounds the whole attempt via
+// the request context.
+func fetch(client *http.Client, u string, maxBody int64, timeout time.Duration) (page, []byte, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return page{}, nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return page{}, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
-		return page{}, nil, fmt.Errorf("crawler: %s: status %d", u, resp.StatusCode)
+		return page{}, nil, &HTTPError{URL: u, Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp)}
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
 	if err != nil {
 		return page{}, nil, err
 	}
-	pg, err := parsePage(u, body)
+	// The page is recorded under the URL we asked for (visited-set and
+	// archive key), but redirects may have landed elsewhere: relative
+	// hrefs resolve against the URL the response actually came from.
+	pg, err := parsePageAt(u, resp.Request.URL, body)
 	if err != nil {
 		return page{}, nil, err
 	}
@@ -317,24 +497,33 @@ func fetch(client *http.Client, u string, maxBody int64) (page, []byte, error) {
 }
 
 // parsePage extracts the canonical URL and same-host links of a document
-// fetched from fetchURL.
+// fetched from fetchURL, resolving links against fetchURL itself.
 func parsePage(fetchURL string, body []byte) (page, error) {
 	base, err := url.Parse(fetchURL)
 	if err != nil {
 		return page{}, err
 	}
+	return parsePageAt(fetchURL, base, body)
+}
+
+// parsePageAt extracts the canonical URL and links of a document recorded
+// under fetchURL whose content was served from base (they differ after a
+// redirect). Relative hrefs resolve against base, and the same-host
+// filter keeps links on base's host — the server that actually answered.
+func parsePageAt(fetchURL string, base *url.URL, body []byte) (page, error) {
 	hrefs, canonical := ExtractLinks(string(body))
 	pg := page{fetchURL: fetchURL, canonical: canonical}
 	if pg.canonical == "" {
 		pg.canonical = fetchURL
 	}
+	baseHost := base.Scheme + "://" + base.Host
 	for _, h := range hrefs {
 		n, err := normalizeURL(h, base)
 		if err != nil {
 			continue // unparseable link: skip, as real crawlers do
 		}
 		// Stay on the crawled server: same scheme+host as the base.
-		if hostOf(n) != hostOf(fetchURL) {
+		if hostOf(n) != baseHost {
 			continue
 		}
 		pg.links = append(pg.links, n)

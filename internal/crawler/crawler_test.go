@@ -242,6 +242,77 @@ func TestCrawlFragmentAndCycleHandling(t *testing.T) {
 	}
 }
 
+// TestCrawlRedirectBaseResolution pins the redirect bugfix: relative
+// links on a redirected page must resolve against the URL the response
+// finally came from, not the one that was requested — otherwise every
+// relative href points at a phantom sibling of the request URL.
+func TestCrawlRedirectBaseResolution(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/start":
+			http.Redirect(w, r, "/dir/index.html", http.StatusFound)
+		case "/dir/index.html":
+			fmt.Fprint(w, `<a href="page2.html">next</a>`)
+		case "/dir/page2.html":
+			fmt.Fprint(w, "leaf")
+		default:
+			// The buggy resolution would ask for /page2.html.
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	res, err := Crawl(Config{Seeds: []string{srv.URL + "/start"}, Client: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Errors != 0 {
+		t.Fatalf("%d fetch errors: relative link resolved against the wrong base", res.Stats.Errors)
+	}
+	if res.Stats.Fetched != 2 {
+		t.Fatalf("fetched %d, want 2 (/start and /dir/page2.html)", res.Stats.Fetched)
+	}
+	if _, ok := res.Graph.Lookup(srv.URL + "/dir/page2.html"); !ok {
+		t.Fatal("redirect target's relative link missing from the graph")
+	}
+}
+
+// TestBudgetRefundOnFailure pins the budget-leak bugfix: a URL that fails
+// permanently must hand its MaxPages slot back, so later-discovered pages
+// can still be admitted.
+func TestBudgetRefundOnFailure(t *testing.T) {
+	pages := map[string]string{
+		"/":      `<a href="/good1">g</a><a href="/dead">d</a>`,
+		"/good1": `<a href="/good2">g2</a>`,
+		"/good2": "leaf",
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if body, ok := pages[r.URL.Path]; ok {
+			fmt.Fprint(w, body)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	// Concurrency 1 fixes the order: /dead is popped (and fails) before
+	// /good1 discovers /good2, so the refunded slot is what admits it.
+	for _, cfg := range []Config{
+		{Seeds: []string{srv.URL + "/"}, Client: srv.Client(), Concurrency: 1, MaxPages: 3},
+		{Seeds: []string{srv.URL + "/"}, Client: srv.Client(), Concurrency: 1, MaxPagesPerSite: 3},
+	} {
+		res, err := Crawl(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Fetched != 3 {
+			t.Fatalf("fetched %d of 3 good pages: failed fetch still holds budget (caps %d/%d)",
+				res.Stats.Fetched, cfg.MaxPages, cfg.MaxPagesPerSite)
+		}
+		if res.Stats.Errors != 1 || res.Stats.SkippedCaps != 0 {
+			t.Fatalf("stats = %+v", res.Stats)
+		}
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := Crawl(Config{}); !errors.Is(err, ErrBadConfig) {
 		t.Fatal("no seeds accepted")

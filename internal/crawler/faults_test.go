@@ -1,0 +1,86 @@
+package crawler
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pagequality/internal/webcorpus"
+	"pagequality/internal/webserver"
+)
+
+// TestCrawlUnderFaultsBitwiseParity is the acceptance test for the
+// fault-tolerant crawl substrate: a crawl through an error/rate-limit/
+// timeout/latency storm must retry its way to a graph bitwise identical
+// to a fault-free crawl of the same site. Graphs align across the two
+// server instances because nodes are keyed by rel=canonical corpus URLs.
+func TestCrawlUnderFaultsBitwiseParity(t *testing.T) {
+	sim := testCorpus(t, 9)
+	g := sim.Graph().Clone()
+	srv, err := webserver.New(g, sim.AllTexts(webcorpus.TextOptions{MinWords: 10, MaxWords: 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault-free reference crawl.
+	healthy := httptest.NewServer(srv)
+	defer healthy.Close()
+	seeds, err := FetchSeeds(healthy.Client(), healthy.URL+"/seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Crawl(Config{Seeds: seeds, Client: healthy.Client(), Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.Errors != 0 {
+		t.Fatalf("reference crawl saw %d errors", ref.Stats.Errors)
+	}
+	want := string(ref.Graph.AppendBinary(nil))
+
+	for _, seed := range []int64{1, 2, 3} {
+		faults, err := webserver.WithFaults(srv, webserver.FaultConfig{
+			ErrorRate:     0.2,
+			RateLimitRate: 0.1,
+			TimeoutRate:   0.05,
+			Latency:       time.Millisecond,
+			Seed:          seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(faults)
+		faultSeeds := make([]string, len(seeds))
+		for i, s := range seeds {
+			faultSeeds[i] = strings.Replace(s, healthy.URL, ts.URL, 1)
+		}
+		res, err := Crawl(Config{
+			Seeds:          faultSeeds,
+			Client:         ts.Client(),
+			Concurrency:    4,
+			RequestTimeout: 200 * time.Millisecond,
+			Retry:          Retry{MaxAttempts: 8, Sleep: noSleep},
+		})
+		ts.Close()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Stats.Errors != 0 {
+			t.Fatalf("seed %d: %d URLs exhausted their retries", seed, res.Stats.Errors)
+		}
+		if res.Stats.Retries == 0 {
+			t.Fatalf("seed %d: fault storm triggered no retries", seed)
+		}
+		if res.Stats.Fetched != ref.Stats.Fetched {
+			t.Fatalf("seed %d: fetched %d pages, reference fetched %d",
+				seed, res.Stats.Fetched, ref.Stats.Fetched)
+		}
+		if string(res.Graph.AppendBinary(nil)) != want {
+			t.Fatalf("seed %d: faulted crawl graph differs from fault-free crawl", seed)
+		}
+		if fs := faults.Stats(); fs.Errors == 0 && fs.RateLimited == 0 && fs.Timeouts == 0 {
+			t.Fatalf("seed %d: middleware injected no faults (stats %+v)", seed, fs)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package crawler
+
+import (
+	"fmt"
+	"time"
+
+	"pagequality/internal/randx"
+)
+
+// Retry configures the transient-failure retry engine. The zero value
+// selects the defaults below; set MaxAttempts to 1 to disable retries.
+type Retry struct {
+	// MaxAttempts is the total number of tries per URL, first fetch
+	// included (default 3). Permanent failures never retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 100ms); it
+	// doubles per attempt up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps every backoff, including server-requested Retry-After
+	// waits (default 5s).
+	MaxDelay time.Duration
+	// Seed keys the deterministic jitter streams: the delay before retry k
+	// of URL u is a pure function of (Seed, u, k), independent of worker
+	// scheduling.
+	Seed int64
+	// Sleep performs the backoff wait (default time.Sleep). Tests inject a
+	// recorder so retry paths run instantly.
+	Sleep func(time.Duration)
+}
+
+func (r *Retry) fill() error {
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 3
+	}
+	if r.MaxAttempts < 1 {
+		return fmt.Errorf("%w: Retry.MaxAttempts=%d", ErrBadConfig, r.MaxAttempts)
+	}
+	if r.BaseDelay == 0 {
+		r.BaseDelay = 100 * time.Millisecond
+	}
+	if r.MaxDelay == 0 {
+		r.MaxDelay = 5 * time.Second
+	}
+	if r.BaseDelay < 0 || r.MaxDelay < 0 {
+		return fmt.Errorf("%w: negative retry delays", ErrBadConfig)
+	}
+	if r.Sleep == nil {
+		r.Sleep = time.Sleep
+	}
+	return nil
+}
+
+// backoff returns the wait before retry attempt k (k >= 1) of u:
+// exponential growth from BaseDelay with deterministic jitter in
+// [base/2, base), raised to the server's Retry-After hint when one was
+// given, and capped at MaxDelay. Pure — callers sleep, backoff never does.
+func (r *Retry) backoff(u string, attempt int, retryAfter time.Duration) time.Duration {
+	base := r.BaseDelay
+	for k := 1; k < attempt && base < r.MaxDelay; k++ {
+		base *= 2
+	}
+	if base > r.MaxDelay {
+		base = r.MaxDelay
+	}
+	d := base
+	if half := base / 2; half > 0 {
+		s := randx.NewStream(r.Seed, randx.Key(u), uint64(attempt))
+		d = half + time.Duration(randx.Float64(&s)*float64(half))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d
+}

@@ -1,10 +1,12 @@
 package crawler
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
 // robotsRules holds the Disallow prefixes that apply to this crawler
@@ -73,15 +75,26 @@ func parseRobots(body string) *robotsRules {
 	return rules
 }
 
-// fetchRobots downloads and parses host's robots.txt. Any error —
-// including 404 — yields allow-all, per convention.
-func fetchRobots(client *http.Client, host string) *robotsRules {
+// fetchRobots downloads and parses host's robots.txt, bounding the
+// attempt by timeout when positive. Any error — including 404 — yields
+// allow-all, per convention.
+func fetchRobots(client *http.Client, host string, timeout time.Duration) *robotsRules {
 	u, err := url.Parse(host)
 	if err != nil {
 		return &robotsRules{}
 	}
 	u.Path = "/robots.txt"
-	resp, err := client.Get(u.String())
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return &robotsRules{}
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return &robotsRules{}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"pagequality/internal/graph"
@@ -62,6 +63,91 @@ func TestParseRobotsLenient(t *testing.T) {
 		if !r.allowed("/anything-else") {
 			t.Fatalf("lenient parse blocked /anything-else for %q", body)
 		}
+	}
+}
+
+// TestParseRobotsTable drives the parser through the syntax corners a
+// lenient crawler must survive: multi-agent groups, comments, CRLF line
+// endings, Allow lines (ignored), empty Disallow, case and whitespace.
+func TestParseRobotsTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		body     string
+		disallow []string // expected prefixes, in order
+	}{
+		{
+			name:     "basic star group",
+			body:     "User-agent: *\nDisallow: /private/\nDisallow: /tmp\n",
+			disallow: []string{"/private/", "/tmp"},
+		},
+		{
+			name:     "crlf line endings",
+			body:     "User-agent: *\r\nDisallow: /a\r\nDisallow: /b\r\n",
+			disallow: []string{"/a", "/b"},
+		},
+		{
+			name:     "multi-agent group shares rules",
+			body:     "User-agent: googlebot\nUser-agent: *\nUser-agent: bingbot\nDisallow: /shared\n",
+			disallow: []string{"/shared"},
+		},
+		{
+			name:     "multiple star groups accumulate",
+			body:     "User-agent: *\nDisallow: /one\n\nUser-agent: *\nDisallow: /two\n",
+			disallow: []string{"/one", "/two"},
+		},
+		{
+			name:     "foreign group ignored",
+			body:     "User-agent: googlebot\nDisallow: /google-only\n\nUser-agent: *\nDisallow: /ours\n",
+			disallow: []string{"/ours"},
+		},
+		{
+			name:     "comments stripped mid-line and whole-line",
+			body:     "# preamble\nUser-agent: * # us\nDisallow: /x # why\n# Disallow: /commented-out\n",
+			disallow: []string{"/x"},
+		},
+		{
+			name:     "allow lines ignored leniently",
+			body:     "User-agent: *\nAllow: /public\nDisallow: /x\nAllow: /also\n",
+			disallow: []string{"/x"},
+		},
+		{
+			name:     "empty disallow allows all",
+			body:     "User-agent: *\nDisallow:\n",
+			disallow: nil,
+		},
+		{
+			name:     "case-insensitive keys, padded values",
+			body:     "USER-AGENT:   *  \nDISALLOW:   /caps  \n",
+			disallow: []string{"/caps"},
+		},
+		{
+			name:     "directive after unknown key still applies",
+			body:     "User-agent: *\nCrawl-delay: 5\nDisallow: /after-unknown\n",
+			disallow: []string{"/after-unknown"},
+		},
+		{
+			name:     "malformed lines skipped",
+			body:     "User-agent: *\nthis line has no colon\nDisallow: /kept\n",
+			disallow: []string{"/kept"},
+		},
+		{
+			name:     "agent run reset by directive",
+			body:     "User-agent: *\nDisallow: /a\nUser-agent: googlebot\nDisallow: /google\n",
+			disallow: []string{"/a"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := parseRobots(c.body)
+			if len(r.disallow) != len(c.disallow) {
+				t.Fatalf("disallow = %v, want %v", r.disallow, c.disallow)
+			}
+			for i := range c.disallow {
+				if r.disallow[i] != c.disallow[i] {
+					t.Fatalf("disallow = %v, want %v", r.disallow, c.disallow)
+				}
+			}
+		})
 	}
 }
 
@@ -128,6 +214,37 @@ func TestCrawlRespectsRobots(t *testing.T) {
 	}
 	if res.Stats.Fetched != full || res.Stats.SkippedRobots != 0 {
 		t.Fatalf("IgnoreRobots crawl fetched %d, want %d", res.Stats.Fetched, full)
+	}
+}
+
+// TestRobotsFetchedOncePerHost pins the duplicate-fetch fix: however many
+// workers miss the robots cache together, the host's robots.txt is
+// requested exactly once.
+func TestRobotsFetchedOncePerHost(t *testing.T) {
+	var robotsHits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/robots.txt":
+			robotsHits.Add(1)
+			fmt.Fprint(w, "User-agent: *\nDisallow:\n")
+		case "/":
+			for i := 0; i < 16; i++ {
+				fmt.Fprintf(w, `<a href="/p%d">p</a>`, i)
+			}
+		default:
+			fmt.Fprint(w, "leaf")
+		}
+	}))
+	defer srv.Close()
+	res, err := Crawl(Config{Seeds: []string{srv.URL + "/"}, Client: srv.Client(), Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Fetched != 17 {
+		t.Fatalf("fetched %d, want 17", res.Stats.Fetched)
+	}
+	if n := robotsHits.Load(); n != 1 {
+		t.Fatalf("robots.txt fetched %d times, want 1", n)
 	}
 }
 

@@ -47,6 +47,22 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Key folds a string into a 64-bit stream key with FNV-1a, so entities
+// identified by name (URLs, request paths) can seed NewStream the same
+// way integer-identified entities do.
+func Key(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
 // NewStream returns the stream identified by (seed, key, tick). Each
 // component passes through its own finalizer round before being folded in,
 // so neighbouring keys or ticks (page 7/tick 8 vs page 8/tick 7) land in

@@ -20,6 +20,26 @@ func TestStreamDeterministic(t *testing.T) {
 	}
 }
 
+func TestKeyDistinctAndStable(t *testing.T) {
+	// FNV-1a of the empty string is the offset basis; a few known-distinct
+	// inputs must neither collide nor vary between calls.
+	if Key("") != 14695981039346656037 {
+		t.Fatalf("Key(\"\") = %d", Key(""))
+	}
+	inputs := []string{"a", "b", "ab", "ba", "http://x/p/1.html", "http://x/p/2.html"}
+	seen := make(map[uint64]string)
+	for _, s := range inputs {
+		k := Key(s)
+		if k != Key(s) {
+			t.Fatalf("Key(%q) unstable", s)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("Key collision between %q and %q", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
 func TestStreamKeySeparation(t *testing.T) {
 	// Neighbouring keys, swapped components, and different seeds must all
 	// start distinct sequences.

@@ -1,0 +1,142 @@
+package webserver
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pagequality/internal/randx"
+)
+
+// FaultConfig parameterises the deterministic fault-injection middleware.
+// Each incoming request draws once from a stream keyed on (Seed, path,
+// per-path request count), so the k-th request for a given path always
+// meets the same fate — independent of request interleaving across
+// concurrent crawler workers. That is what lets integration tests drive a
+// crawl through a failure storm and still assert bitwise graph parity
+// with the fault-free crawl: a page that fails on its first attempt
+// deterministically succeeds on a later retry.
+type FaultConfig struct {
+	// ErrorRate is the probability of answering 500 Internal Server Error.
+	ErrorRate float64
+	// RateLimitRate is the probability of answering 429 Too Many Requests
+	// with a Retry-After: 1 header.
+	RateLimitRate float64
+	// TimeoutRate is the probability of stalling without a response until
+	// the client gives up (its request context is cancelled).
+	TimeoutRate float64
+	// Latency is a fixed delay added to every response that is not an
+	// injected fault (zero = no added latency).
+	Latency time.Duration
+	// Seed keys the decision streams.
+	Seed int64
+}
+
+// Active reports whether the configuration injects anything at all.
+func (c FaultConfig) Active() bool {
+	return c.ErrorRate > 0 || c.RateLimitRate > 0 || c.TimeoutRate > 0 || c.Latency > 0
+}
+
+func (c FaultConfig) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"ErrorRate", c.ErrorRate}, {"RateLimitRate", c.RateLimitRate}, {"TimeoutRate", c.TimeoutRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("webserver: %s=%g outside [0,1]", r.name, r.v)
+		}
+	}
+	if sum := c.ErrorRate + c.RateLimitRate + c.TimeoutRate; sum > 1 {
+		return fmt.Errorf("webserver: fault rates sum to %g > 1", sum)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("webserver: negative Latency %v", c.Latency)
+	}
+	return nil
+}
+
+// FaultStats is a snapshot of the middleware's counters.
+type FaultStats struct {
+	Errors      int64 // injected 500s
+	RateLimited int64 // injected 429s
+	Timeouts    int64 // stalled requests
+	Served      int64 // requests passed through to the inner handler
+}
+
+// Faults wraps an http.Handler with deterministic fault injection.
+type Faults struct {
+	inner http.Handler
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	attempt map[string]uint64 // per-path request counter
+
+	errors      atomic.Int64
+	rateLimited atomic.Int64
+	timeouts    atomic.Int64
+	served      atomic.Int64
+}
+
+// WithFaults wraps h with the given fault configuration.
+func WithFaults(h http.Handler, cfg FaultConfig) (*Faults, error) {
+	if h == nil {
+		return nil, fmt.Errorf("webserver: WithFaults on nil handler")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Faults{inner: h, cfg: cfg, attempt: make(map[string]uint64)}, nil
+}
+
+// Stats returns a snapshot of the fault counters.
+func (f *Faults) Stats() FaultStats {
+	return FaultStats{
+		Errors:      f.errors.Load(),
+		RateLimited: f.rateLimited.Load(),
+		Timeouts:    f.timeouts.Load(),
+		Served:      f.served.Load(),
+	}
+}
+
+// ServeHTTP implements http.Handler: one uniform draw per request decides
+// its fate, partitioned [0,ErrorRate) -> 500, then RateLimitRate -> 429,
+// then TimeoutRate -> stall; the rest pass through after Latency.
+func (f *Faults) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	f.mu.Lock()
+	n := f.attempt[path]
+	f.attempt[path] = n + 1
+	f.mu.Unlock()
+	s := randx.NewStream(f.cfg.Seed, randx.Key(path), n)
+	u := randx.Float64(&s)
+	switch {
+	case u < f.cfg.ErrorRate:
+		f.errors.Add(1)
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+		return
+	case u < f.cfg.ErrorRate+f.cfg.RateLimitRate:
+		f.rateLimited.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "injected rate limit", http.StatusTooManyRequests)
+		return
+	case u < f.cfg.ErrorRate+f.cfg.RateLimitRate+f.cfg.TimeoutRate:
+		f.timeouts.Add(1)
+		// Stall until the client abandons the request; the handler exits
+		// as soon as the request context is cancelled, so nothing leaks.
+		<-r.Context().Done()
+		return
+	}
+	if f.cfg.Latency > 0 {
+		t := time.NewTimer(f.cfg.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	f.served.Add(1)
+	f.inner.ServeHTTP(w, r)
+}

@@ -1,0 +1,200 @@
+package webserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+}
+
+func TestFaultsValidation(t *testing.T) {
+	if _, err := WithFaults(nil, FaultConfig{}); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	bad := []FaultConfig{
+		{ErrorRate: -0.1},
+		{ErrorRate: 1.5},
+		{RateLimitRate: 2},
+		{TimeoutRate: -1},
+		{ErrorRate: 0.5, RateLimitRate: 0.4, TimeoutRate: 0.3}, // sum > 1
+		{Latency: -time.Second},
+	}
+	for _, cfg := range bad {
+		if _, err := WithFaults(okHandler(), cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := WithFaults(okHandler(), FaultConfig{ErrorRate: 0.5, RateLimitRate: 0.5}); err != nil {
+		t.Fatalf("rates summing to exactly 1 rejected: %v", err)
+	}
+}
+
+func TestFaultsActive(t *testing.T) {
+	if (FaultConfig{}).Active() {
+		t.Fatal("zero config active")
+	}
+	for _, cfg := range []FaultConfig{
+		{ErrorRate: 0.1}, {RateLimitRate: 0.1}, {TimeoutRate: 0.1}, {Latency: time.Millisecond},
+	} {
+		if !cfg.Active() {
+			t.Fatalf("config %+v inactive", cfg)
+		}
+	}
+}
+
+func TestFaultsPassthroughWhenInactive(t *testing.T) {
+	f, err := WithFaults(okHandler(), FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		f.ServeHTTP(rec, httptest.NewRequest("GET", "/p/1.html", nil))
+		if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+			t.Fatalf("request %d: %d %q", i, rec.Code, rec.Body.String())
+		}
+	}
+	if s := f.Stats(); s.Served != 50 || s.Errors != 0 || s.RateLimited != 0 || s.Timeouts != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// sequence replays n requests for path against a fresh middleware and
+// returns the status codes in arrival order.
+func sequence(t *testing.T, cfg FaultConfig, path string, n int) []int {
+	t.Helper()
+	f, err := WithFaults(okHandler(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]int, n)
+	for i := range codes {
+		rec := httptest.NewRecorder()
+		f.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		codes[i] = rec.Code
+	}
+	return codes
+}
+
+func TestFaultsDeterministicPerPathAttempt(t *testing.T) {
+	cfg := FaultConfig{ErrorRate: 0.3, RateLimitRate: 0.2, Seed: 7}
+	a := sequence(t, cfg, "/p/1.html", 64)
+	b := sequence(t, cfg, "/p/1.html", 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// The fate sequence depends on the path and the seed.
+	other := sequence(t, cfg, "/p/2.html", 64)
+	reseeded := sequence(t, FaultConfig{ErrorRate: 0.3, RateLimitRate: 0.2, Seed: 8}, "/p/1.html", 64)
+	same := func(x, y []int) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, other) {
+		t.Fatal("distinct paths share their fate sequence")
+	}
+	if same(a, reseeded) {
+		t.Fatal("distinct seeds share their fate sequence")
+	}
+}
+
+func TestFaultsRatesAndCounters(t *testing.T) {
+	cfg := FaultConfig{ErrorRate: 0.4, RateLimitRate: 0.2, Seed: 3}
+	const n = 1000
+	codes := sequence(t, cfg, "/p/1.html", n)
+	var e500, e429, ok int
+	for _, c := range codes {
+		switch c {
+		case http.StatusInternalServerError:
+			e500++
+		case http.StatusTooManyRequests:
+			e429++
+		case http.StatusOK:
+			ok++
+		}
+	}
+	if e500+e429+ok != n {
+		t.Fatalf("unexpected status in %v", codes)
+	}
+	// Deterministic run: generous +-50% bands just guard the partition
+	// arithmetic, not the RNG.
+	if e500 < 200 || e500 > 600 {
+		t.Fatalf("500s = %d of %d at rate 0.4", e500, n)
+	}
+	if e429 < 100 || e429 > 300 {
+		t.Fatalf("429s = %d of %d at rate 0.2", e429, n)
+	}
+}
+
+func TestFaultsRateLimitSendsRetryAfter(t *testing.T) {
+	f, err := WithFaults(okHandler(), FaultConfig{RateLimitRate: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest("GET", "/p/1.html", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q", rec.Header().Get("Retry-After"))
+	}
+	if s := f.Stats(); s.RateLimited != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFaultsTimeoutStallsUntilClientGivesUp(t *testing.T) {
+	f, err := WithFaults(okHandler(), FaultConfig{TimeoutRate: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err = client.Get(ts.URL + "/p/1.html")
+	if err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request failed after %v, before the client timeout", elapsed)
+	}
+	if s := f.Stats(); s.Timeouts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFaultsLatencyDelaysResponse(t *testing.T) {
+	f, err := WithFaults(okHandler(), FaultConfig{Latency: 30 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+	start := time.Now()
+	resp, err := ts.Client().Get(ts.URL + "/p/1.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("response arrived after %v, before the injected latency", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
