@@ -45,7 +45,7 @@ func TestQueryCacheLRU(t *testing.T) {
 	if b, _ := c.get(k(4)); !bytes.Equal(b, body(40)) {
 		t.Fatalf("update in place failed: %q", b)
 	}
-	hits, misses, evictions := c.counters()
+	hits, misses, _, evictions := c.counters()
 	if hits != 5 || misses != 2 || evictions != 1 {
 		t.Fatalf("counters = %d/%d/%d, want 5/2/1", hits, misses, evictions)
 	}
@@ -67,10 +67,14 @@ func TestQueryCacheConstruction(t *testing.T) {
 	if c.entries() != 0 || c.capacity() != 0 {
 		t.Fatal("nil cache has size")
 	}
-	h, m, e := c.counters()
-	if h != 0 || m != 0 || e != 0 {
+	h, m, co, e := c.counters()
+	if h != 0 || m != 0 || co != 0 || e != 0 {
 		t.Fatal("nil cache has counters")
 	}
+	if body, err := c.getOrCompute(queryKey{q: "x"}, func() ([]byte, error) { return []byte("y"), nil }); err != nil || string(body) != "y" {
+		t.Fatalf("nil cache getOrCompute = %q, %v", body, err)
+	}
+	c.purge(1)
 	// Shards never exceed capacity; total capacity rounds up.
 	c = newQueryCache(16, 5)
 	if len(c.shards) != 5 {
@@ -121,14 +125,14 @@ func TestServiceQueryCache(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("cold query: status %d", code)
 	}
-	if h, m, _ := svc.cache.counters(); h != 0 || m != 1 {
+	if h, m, _, _ := svc.cache.counters(); h != 0 || m != 1 {
 		t.Fatalf("after cold query: hits=%d misses=%d", h, m)
 	}
 	_, warm := get("/search?q=" + topic + "&k=5")
 	if !bytes.Equal(cold, warm) {
 		t.Fatalf("cached response differs:\ncold: %s\nwarm: %s", cold, warm)
 	}
-	if h, m, _ := svc.cache.counters(); h != 1 || m != 1 {
+	if h, m, _, _ := svc.cache.counters(); h != 1 || m != 1 {
 		t.Fatalf("after warm query: hits=%d misses=%d", h, m)
 	}
 	// The default rank and the explicit rank=quality share one entry.
@@ -136,7 +140,7 @@ func TestServiceQueryCache(t *testing.T) {
 	if !bytes.Equal(cold, explicit) {
 		t.Fatal("rank=quality not served from the default-rank entry")
 	}
-	if h, _, _ := svc.cache.counters(); h != 2 {
+	if h, _, _, _ := svc.cache.counters(); h != 2 {
 		t.Fatal("explicit rank=quality missed the cache")
 	}
 	// Different k and rank are different keys.
@@ -220,10 +224,12 @@ func TestServiceCacheConcurrent(t *testing.T) {
 		t.FailNow()
 	}
 
-	hits, misses, evictions := svc.cache.counters()
+	hits, misses, coalesced, evictions := svc.cache.counters()
 	total := uint64(len(paths) + workers*iters)
-	if hits+misses != total {
-		t.Fatalf("hits %d + misses %d != %d lookups", hits, misses, total)
+	// Every lookup is exactly one of hit, miss (flight leader) or
+	// coalesced waiter.
+	if hits+misses+coalesced != total {
+		t.Fatalf("hits %d + misses %d + coalesced %d != %d lookups", hits, misses, coalesced, total)
 	}
 	if evictions == 0 {
 		t.Fatal("no evictions despite 24 keys over an 8-entry cache")

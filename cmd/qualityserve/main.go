@@ -5,25 +5,34 @@
 // a full-text index over the documents, and serves a JSON search API:
 //
 //	GET /search?q=<terms>&k=10&rank=quality|pagerank|relevance
+//	GET /refresh
 //	GET /stats
 //	GET /healthz
 //
 // The query path is built for load: the index serves every request from
 // a frozen flat posting layout, responses are encoded through pooled
-// buffers, and a sharded LRU cache keyed on (query, k, rank) short-cuts
-// repeated queries — the index is immutable per process, so cached
-// responses never go stale. /stats reports the cache hit/miss/eviction
-// counters alongside the corpus numbers.
+// buffers, and a sharded LRU cache keyed on (generation, query, k, rank)
+// short-cuts repeated queries, with per-key singleflight so a thundering
+// herd on a cold key runs the search once.
+//
+// The serving state — index, score vectors, URL table — lives in an
+// immutable generation behind an atomic pointer. /refresh (and the
+// -refresh-interval ticker) rebuilds the next generation from the store
+// off the request path and swaps it in RCU-style: in-flight queries keep
+// the generation they loaded, new queries see the new one, and no request
+// ever observes a mix. Cache keys carry the generation id, so a swap
+// invalidates every cached response without racing the readers.
 //
 // Usage:
 //
 //	qualityserve -store web.pqs -archive pages/ -label t3 -snaps 3 \
-//	             -addr 127.0.0.1:8088 [-cachesize 4096]
+//	             -addr 127.0.0.1:8088 [-cachesize 4096] [-refresh-interval 10m]
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +40,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pagequality/internal/crawler"
@@ -83,6 +93,7 @@ func run(args []string, out io.Writer, listen func(string, http.Handler) error) 
 		cap_      = fs.Float64("maxtrend", 0.3, "trend cap")
 		addr      = fs.String("addr", "127.0.0.1:8088", "listen address")
 		cacheSize = fs.Int("cachesize", 4096, "query cache capacity in entries (0 disables caching)")
+		refresh   = fs.Duration("refresh-interval", 0, "rebuild the index from the store at this interval (0 disables; /refresh always works)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,34 +104,91 @@ func run(args []string, out io.Writer, listen func(string, http.Handler) error) 
 	if *cacheSize < 0 {
 		return fmt.Errorf("-cachesize must be >= 0, got %d", *cacheSize)
 	}
+	if *refresh < 0 {
+		return fmt.Errorf("-refresh-interval must be >= 0, got %v", *refresh)
+	}
 	svc, err := buildService(*store, *archive, *label, *snapsN, quality.Config{
 		C: *c, MinChangeFrac: 0.05, ApplyTrendToDecreasing: true, MaxTrend: *cap_,
 	}, *cacheSize)
 	if err != nil {
 		return err
 	}
+	if *refresh > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go svc.refreshLoop(*refresh, stop, out)
+	}
+	g := svc.gen.Load()
 	fmt.Fprintf(out, "indexed %d documents (%d common pages) — serving on http://%s/\n",
-		svc.ix.NumDocs(), len(svc.urls), *addr)
+		g.ix.NumDocs(), len(g.urls), *addr)
 	return listen(*addr, svc)
 }
 
-// service holds the built index, per-document scores and the query cache.
+// generation is one immutable serving state: the eagerly frozen index,
+// the per-document score vectors and the URL table, all derived from a
+// single read of the crawl series. A query loads the current generation
+// exactly once and touches only its fields, so every response is
+// internally consistent even when a refresh swaps generations mid-flight.
+type generation struct {
+	id   uint64
+	ix   *search.Index
+	urls []string // doc id -> canonical URL
+	qual []float64
+	pr   []float64
+}
+
+// service routes requests against the current generation and owns the
+// machinery that replaces it: the rebuild inputs, the refresh lock and
+// the generation-keyed query cache.
 type service struct {
-	ix    *search.Index
-	urls  []string // doc id -> canonical URL
-	qual  []float64
-	pr    []float64
+	gen   atomic.Pointer[generation]
 	cache *queryCache
 	// bufPool recycles the JSON encoding buffers of cache misses; its
 	// zero value is usable (encodeHits falls back to a fresh buffer).
 	bufPool sync.Pool
+	// searches counts index searches actually executed — cache hits and
+	// coalesced waiters do not add to it, which is what makes singleflight
+	// observable from /stats.
+	searches atomic.Uint64
+
+	// Rebuild inputs, fixed for the life of the process.
+	storePath  string
+	archiveDir string
+	label      string
+	snapsN     int
+	qcfg       quality.Config
+
+	// refreshMu serialises rebuilds (a rebuild is expensive; overlapping
+	// ones would waste work and could swap in out of order). Readers never
+	// take it — they only load the atomic pointer.
+	refreshMu sync.Mutex
 }
 
 // buildService loads the series, estimates quality, and indexes the
-// archived bodies of the chosen crawl. cacheSize bounds the query cache
-// (0 disables it).
+// archived bodies of the chosen crawl as generation 1. cacheSize bounds
+// the query cache (0 disables it).
 func buildService(storePath, archiveDir, label string, snapsN int, qcfg quality.Config, cacheSize int) (*service, error) {
-	snaps, err := snapshot.ReadFile(storePath)
+	svc := &service{
+		cache:      newQueryCache(cacheShards, cacheSize),
+		storePath:  storePath,
+		archiveDir: archiveDir,
+		label:      label,
+		snapsN:     snapsN,
+		qcfg:       qcfg,
+	}
+	g, err := svc.loadGeneration(1)
+	if err != nil {
+		return nil, err
+	}
+	svc.gen.Store(g)
+	return svc, nil
+}
+
+// loadGeneration reads the snapshot store and the page archive and builds
+// one complete, frozen generation. It runs off the request path: nothing
+// it does is visible to readers until the caller swaps the result in.
+func (s *service) loadGeneration(id uint64) (*generation, error) {
+	snaps, err := snapshot.ReadFile(s.storePath)
 	if err != nil {
 		return nil, err
 	}
@@ -128,27 +196,28 @@ func buildService(storePath, archiveDir, label string, snapsN int, qcfg quality.
 	if err != nil {
 		return nil, err
 	}
-	if snapsN < 2 || snapsN > al.NumSnapshots() {
-		return nil, fmt.Errorf("qualityserve: snaps=%d with %d snapshots", snapsN, al.NumSnapshots())
+	if s.snapsN < 2 || s.snapsN > al.NumSnapshots() {
+		return nil, fmt.Errorf("qualityserve: snaps=%d with %d snapshots", s.snapsN, al.NumSnapshots())
 	}
-	est, ranks, err := quality.FromAligned(al, snapsN,
-		pagerank.Options{Variant: pagerank.VariantPaper}, qcfg)
+	est, ranks, err := quality.FromAlignedIncremental(al, s.snapsN,
+		pagerank.IncrementalOptions{Options: pagerank.Options{Variant: pagerank.VariantPaper}}, s.qcfg)
 	if err != nil {
 		return nil, err
 	}
-	cur := ranks[snapsN-1]
+	cur := ranks[s.snapsN-1]
 
+	label := s.label
 	if label == "" {
-		label = al.Labels[snapsN-1]
+		label = al.Labels[s.snapsN-1]
 	}
-	arch, err := pagestore.Open(archiveDir, pagestore.Options{})
+	arch, err := pagestore.Open(s.archiveDir, pagestore.Options{})
 	if err != nil {
 		return nil, err
 	}
 	defer arch.Close()
 	keys := arch.KeysWithPrefix(label + "/")
 	if len(keys) == 0 {
-		return nil, fmt.Errorf("qualityserve: no documents with label %q in %s", label, archiveDir)
+		return nil, fmt.Errorf("qualityserve: no documents with label %q in %s", label, s.archiveDir)
 	}
 
 	// Map canonical URL -> aligned index for score lookup.
@@ -157,7 +226,7 @@ func buildService(storePath, archiveDir, label string, snapsN int, qcfg quality.
 		byURL[u] = i
 	}
 
-	svc := &service{ix: search.NewIndex(), cache: newQueryCache(cacheShards, cacheSize)}
+	g := &generation{id: id, ix: search.NewIndex()}
 	for _, k := range keys {
 		_, body, err := arch.Get(k)
 		if err != nil {
@@ -171,18 +240,56 @@ func buildService(storePath, archiveDir, label string, snapsN int, qcfg quality.
 		if !ok {
 			continue // page not common to every crawl: no quality estimate
 		}
-		doc := svc.ix.Add(string(body))
-		if doc != len(svc.urls) {
+		doc := g.ix.Add(string(body))
+		if doc != len(g.urls) {
 			return nil, fmt.Errorf("qualityserve: document id drift")
 		}
-		svc.urls = append(svc.urls, canonical)
-		svc.qual = append(svc.qual, est.Q[ai])
-		svc.pr = append(svc.pr, cur[ai])
+		g.urls = append(g.urls, canonical)
+		g.qual = append(g.qual, est.Q[ai])
+		g.pr = append(g.pr, cur[ai])
 	}
-	if svc.ix.NumDocs() == 0 {
+	if g.ix.NumDocs() == 0 {
 		return nil, fmt.Errorf("qualityserve: no indexable documents matched the common pages")
 	}
-	return svc, nil
+	// Freeze now, once, so no reader ever pays (or races on) the lazy
+	// posting-layout build after the swap.
+	g.ix.Freeze()
+	return g, nil
+}
+
+// refresh rebuilds the serving state from the store and swaps it in. On
+// error the current generation keeps serving untouched. After the swap,
+// cached responses of older generations are unreachable (keys carry the
+// generation id); purge drops them eagerly to free their memory.
+func (s *service) refresh() (*generation, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	g, err := s.loadGeneration(s.gen.Load().id + 1)
+	if err != nil {
+		return nil, err
+	}
+	s.gen.Store(g)
+	s.cache.purge(g.id)
+	return g, nil
+}
+
+// refreshLoop drives periodic refreshes until stop closes. Failures are
+// reported and the previous generation keeps serving.
+func (s *service) refreshLoop(every time.Duration, stop <-chan struct{}, out io.Writer) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if g, err := s.refresh(); err != nil {
+				fmt.Fprintf(out, "refresh failed (still serving generation %d): %v\n", s.gen.Load().id, err)
+			} else {
+				fmt.Fprintf(out, "refreshed: generation %d, %d documents\n", g.id, g.ix.NumDocs())
+			}
+		}
+	}
 }
 
 // hitJSON is one search result in the API response.
@@ -201,6 +308,8 @@ func (s *service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	case "/stats":
 		s.serveStats(w)
+	case "/refresh":
+		s.serveRefresh(w)
 	case "/search":
 		s.serveSearch(w, r)
 	default:
@@ -209,16 +318,33 @@ func (s *service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *service) serveStats(w http.ResponseWriter) {
-	hits, misses, evictions := s.cache.counters()
+	g := s.gen.Load()
+	hits, misses, coalesced, evictions := s.cache.counters()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"documents":       s.ix.NumDocs(),
-		"terms":           s.ix.NumTerms(),
+		"generation":      g.id,
+		"documents":       g.ix.NumDocs(),
+		"terms":           g.ix.NumTerms(),
+		"searches":        s.searches.Load(),
 		"cache_hits":      hits,
 		"cache_misses":    misses,
+		"cache_coalesced": coalesced,
 		"cache_evictions": evictions,
 		"cache_entries":   s.cache.entries(),
 		"cache_capacity":  s.cache.capacity(),
+	})
+}
+
+func (s *service) serveRefresh(w http.ResponseWriter) {
+	g, err := s.refresh()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"generation": g.id,
+		"documents":  g.ix.NumDocs(),
 	})
 }
 
@@ -237,15 +363,24 @@ func (s *service) serveSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
+	// One load; g is this request's whole world. A refresh swapping the
+	// pointer mid-request cannot change what this response is built from.
+	g := s.gen.Load()
+	// Normalise to the effective k: search clamps TopK to the document
+	// count, so every k beyond it produces the same hit list and must
+	// share one cache entry instead of inflating the key space.
+	if nd := g.ix.NumDocs(); k > nd {
+		k = nd
+	}
 	rank := r.URL.Query().Get("rank")
 	opts := search.Options{TopK: k}
 	switch rank {
 	case "", "quality":
 		rank = "quality" // the default and the explicit form share a cache key
-		opts.Authority = s.qual
+		opts.Authority = g.qual
 		opts.AuthorityWeight = 0.7
 	case "pagerank":
-		opts.Authority = s.pr
+		opts.Authority = g.pr
 		opts.AuthorityWeight = 0.7
 	case "relevance":
 		// content only
@@ -253,39 +388,40 @@ func (s *service) serveSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `parameter "rank" must be quality, pagerank or relevance`, http.StatusBadRequest)
 		return
 	}
-	key := queryKey{q: q, k: k, rank: rank}
-	if body, ok := s.cache.get(key); ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(body)
-		return
-	}
-	hits, err := s.ix.Search(q, opts)
+	key := queryKey{gen: g.id, q: q, k: k, rank: rank}
+	body, err := s.cache.getOrCompute(key, func() ([]byte, error) {
+		s.searches.Add(1)
+		hits, err := g.ix.Search(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		return s.encodeHits(g, hits)
+	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		status := http.StatusInternalServerError
+		if errors.Is(err, search.ErrBadQuery) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
-	body, err := s.encodeHits(hits)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	s.cache.put(key, body)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Quality-Generation", strconv.FormatUint(g.id, 10))
 	w.Write(body)
 }
 
 // encodeHits renders the JSON response body through a pooled buffer. The
 // returned slice is a private copy, safe to cache and to hand to
 // concurrent writers.
-func (s *service) encodeHits(hits []search.Hit) ([]byte, error) {
+func (s *service) encodeHits(g *generation, hits []search.Hit) ([]byte, error) {
 	out := make([]hitJSON, 0, len(hits))
 	for _, h := range hits {
 		out = append(out, hitJSON{
-			URL:       s.urls[h.Doc],
+			URL:       g.urls[h.Doc],
 			Score:     h.Score,
 			Relevance: h.Relevance,
-			Quality:   s.qual[h.Doc],
-			PageRank:  s.pr[h.Doc],
+			Quality:   g.qual[h.Doc],
+			PageRank:  g.pr[h.Doc],
 		})
 	}
 	buf, _ := s.bufPool.Get().(*bytes.Buffer)

@@ -276,3 +276,26 @@ func FromAligned(al *snapshot.Aligned, estimationSnaps int, prOpts pagerank.Opti
 	}
 	return res, ranks, nil
 }
+
+// FromAlignedIncremental is FromAligned with the PageRank series chained
+// through pagerank.ComputeIncremental: each snapshot's solve re-seeds
+// from the previous snapshot's fixed point (see
+// Aligned.PageRankSeriesIncremental). The estimate agrees with
+// FromAligned's within the PageRank convergence tolerance. This is the
+// variant the serving refresh path uses, where the previous generation's
+// vectors are already in memory and rebuild latency is what matters.
+func FromAlignedIncremental(al *snapshot.Aligned, estimationSnaps int, prOpts pagerank.IncrementalOptions, cfg Config) (*Result, [][]float64, error) {
+	if estimationSnaps < 2 || estimationSnaps > al.NumSnapshots() {
+		return nil, nil, fmt.Errorf("%w: estimationSnaps=%d with %d snapshots",
+			ErrBadInput, estimationSnaps, al.NumSnapshots())
+	}
+	ranks, err := al.PageRankSeriesIncremental(prOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := EstimateFromSeries(ranks[:estimationSnaps], cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ranks, nil
+}

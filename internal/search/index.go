@@ -92,6 +92,14 @@ func (ix *Index) AddAll(texts []string) {
 // NumDocs returns the number of indexed documents.
 func (ix *Index) NumDocs() int { return len(ix.docLen) }
 
+// Freeze eagerly builds the immutable posting layout that Search would
+// otherwise build lazily on first query. Callers that publish an index to
+// concurrent readers (e.g. a serving generation swapped in behind an
+// atomic pointer) call this once at build time so the freeze cost is paid
+// off the query path and every reader only ever observes a fully built
+// index. Idempotent until the next Add.
+func (ix *Index) Freeze() { ix.frozen() }
+
 // NumTerms returns the vocabulary size.
 func (ix *Index) NumTerms() int { return len(ix.postings) }
 

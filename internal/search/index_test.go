@@ -52,6 +52,43 @@ func TestIndexStats(t *testing.T) {
 	}
 }
 
+// TestFreezeEager: an eagerly frozen index serves the same results as a
+// lazily frozen one, and Freeze installs the frozen view so the first
+// search does no build work. A post-freeze Add invalidates it again.
+func TestFreezeEager(t *testing.T) {
+	lazy, eager := corpus(), corpus()
+	eager.Freeze()
+	if eager.fz.Load() == nil {
+		t.Fatal("Freeze did not install a frozen view")
+	}
+	f := eager.fz.Load()
+	for _, q := range []string{"quick fox", "lazy dog", "brown"} {
+		want, err := lazy.Search(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eager.Search(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d hits vs %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q hit %d: %+v vs %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+	if eager.fz.Load() != f {
+		t.Fatal("searching rebuilt the frozen view")
+	}
+	eager.Add("new document")
+	if eager.fz.Load() != nil {
+		t.Fatal("Add did not invalidate the frozen view")
+	}
+}
+
 func TestVectorSearchRanksRareTermsHigher(t *testing.T) {
 	ix := corpus()
 	hits, err := ix.Search("go databases", Options{TopK: 5})

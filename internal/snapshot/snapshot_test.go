@@ -188,6 +188,15 @@ func TestAlignErrors(t *testing.T) {
 	if _, err := Align(bad); !errors.Is(err, ErrAlign) {
 		t.Fatal("out-of-order snapshots accepted")
 	}
+	// Duplicate crawl times: Align used to let these through (it checked
+	// only for strictly decreasing times) and EstimateWithRegression then
+	// rejected the aligned series it was handed — an invariant mismatch
+	// between producer and consumer. Equal times must fail at Align.
+	dup := alignFixture()
+	dup[1].Time = dup[0].Time
+	if _, err := Align(dup); !errors.Is(err, ErrAlign) {
+		t.Fatal("duplicate snapshot times accepted")
+	}
 	// Disjoint snapshots.
 	g1 := graph.New(1)
 	g1.MustAddPage(graph.Page{URL: "only1"})
@@ -319,6 +328,55 @@ func TestPageRankSeriesParallelDeterministic(t *testing.T) {
 				if results[slot][k][i] != results[0][k][i] {
 					t.Fatalf("worker setting %d: snapshot %d rank[%d] = %g differs from %g",
 						slot, k, i, results[slot][k][i], results[0][k][i])
+				}
+			}
+		}
+	}
+}
+
+// TestPageRankSeriesIncremental pins the chained incremental series to
+// the independently computed series: identical fixed points within the
+// convergence tolerance at every snapshot.
+func TestPageRankSeriesIncremental(t *testing.T) {
+	mk := func(extra int) *graph.Graph {
+		g := graph.New(40)
+		for i := 0; i < 40; i++ {
+			g.MustAddPage(graph.Page{URL: fmt.Sprintf("p%02d", i)})
+		}
+		for i := 1; i < 40; i++ {
+			g.AddLink(graph.NodeID(i), graph.NodeID((i*7)%40))
+		}
+		for i := 0; i < extra; i++ {
+			g.AddLink(graph.NodeID(i%40), graph.NodeID((i*13+1)%40))
+		}
+		return g
+	}
+	var snaps []Snapshot
+	for k := 0; k < 6; k++ {
+		snaps = append(snaps, Snapshot{Label: fmt.Sprintf("t%d", k), Time: float64(k), Graph: mk(k * 5)})
+	}
+	al, err := Align(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []pagerank.Variant{pagerank.VariantPaper, pagerank.VariantStandard} {
+		opts := pagerank.Options{Variant: variant}
+		full, err := al.PageRankSeries(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := al.PageRankSeriesIncremental(pagerank.IncrementalOptions{Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inc) != len(full) {
+			t.Fatalf("variant %d: series length %d vs %d", variant, len(inc), len(full))
+		}
+		for k := range full {
+			for i := range full[k] {
+				if d := math.Abs(inc[k][i] - full[k][i]); d > 1e-7 {
+					t.Fatalf("variant %d: snapshot %d rank[%d] differs by %g (%g vs %g)",
+						variant, k, i, d, inc[k][i], full[k][i])
 				}
 			}
 		}
