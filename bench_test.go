@@ -633,7 +633,7 @@ func BenchmarkAblationSolver(b *testing.B) {
 	cfg := benchHeadlineConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationPageRankSolver(cfg, 20_000)
+		pts, err := experiments.AblationPageRankSolver(cfg, 20_000, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -70,7 +71,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("pass either -seeds or -seed, not both")
 	case *seedList != "":
 		var err error
-		seeds, err = crawler.FetchSeeds(client, *seedList)
+		seeds, err = crawler.FetchSeeds(context.Background(), client, *seedList)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -218,7 +219,7 @@ func TestCrawlCLIResumeFromCheckpoint(t *testing.T) {
 
 	// Fabricate a mid-crawl checkpoint: the seed page already visited,
 	// its links in the frontier.
-	seeds, err := crawler.FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := crawler.FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}

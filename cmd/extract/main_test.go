@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -43,7 +44,7 @@ func crawlIntoArchive(t *testing.T, label string) (archiveDir string, liveEncodi
 	if err != nil {
 		t.Fatal(err)
 	}
-	seeds, err := crawler.FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := crawler.FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}

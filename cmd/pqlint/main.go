@@ -1,13 +1,18 @@
-// Command pqlint runs the repo's determinism lint suite (see
-// internal/analysis): globalrand, detrange, floateq, droppederr.
+// Command pqlint runs the repo's determinism and concurrency lint suite
+// (see internal/analysis): globalrand, detrange, floateq, droppederr,
+// walltime, looproutine, lockleak, atomicmix, ctxhttp.
 //
 // Usage:
 //
-//	pqlint [-json] [-rules globalrand,detrange,...] [-suppressed] [patterns]
+//	pqlint [-json] [-rules globalrand,detrange,...] [-suppressed] [-tests] [-workers N] [patterns]
 //
 // Patterns are "./..." (the whole module containing the working
 // directory, the tier-1 form) or package directories like
-// ./internal/metrics. With no pattern, "./..." is assumed.
+// ./internal/metrics. With no pattern, "./..." is assumed. _test.go
+// files are analyzed by default (-tests=false restores library-only
+// runs); package type checks run in parallel topological waves on
+// -workers workers (0 = GOMAXPROCS) with bitwise-identical findings at
+// every worker count.
 //
 // Exit codes (the tier-1 contract):
 //
@@ -52,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	showSuppressed := fs.Bool("suppressed", false, "also list findings silenced by //pqlint:allow")
+	tests := fs.Bool("tests", true, "analyze _test.go files too")
+	workers := fs.Int("workers", 0, "type-check worker count (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pqlint: %v\n", err)
 		return 2
 	}
-	pkgs, err := analysis.LoadModule(root)
+	pkgs, err := analysis.LoadModule(root, analysis.LoadOptions{Tests: *tests, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(stderr, "pqlint: %v\n", err)
 		return 2

@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // chdir moves the process into dir for one test (run serially).
 func chdir(t *testing.T, dir string) {
@@ -128,6 +131,88 @@ func TestRunUsageErrors(t *testing.T) {
 	stderr.Reset()
 	if code := run([]string{"./nosuchdir"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unmatched pattern: exit = %d, want 2", code)
+	}
+}
+
+// TestGoldenJSON freezes the -json output — field order, rule names,
+// messages, positions, and suppressed findings with reasons — against a
+// committed fixture module that trips every rule exactly once. Run with
+// -update to regenerate after an intentional change. The same output is
+// also produced at two worker counts and byte-compared, pinning the
+// loader's schedule-independence at the CLI level.
+func TestGoldenJSON(t *testing.T) {
+	golden, err := filepath.Abs(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture, err := filepath.Abs(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, fixture)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-suppressed", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var serial bytes.Buffer
+	if code := run([]string{"-json", "-suppressed", "-workers", "1", "./..."}, &serial, &stderr); code != 1 {
+		t.Fatalf("workers=1: exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !bytes.Equal(stdout.Bytes(), serial.Bytes()) {
+		t.Fatalf("output differs across worker counts:\ndefault:\n%s\nworkers=1:\n%s",
+			stdout.String(), serial.String())
+	}
+
+	var diags []jsonDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	unsuppressed := map[string]int{}
+	var suppressedRules, testFileFindings int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressedRules++
+			if d.Reason == "" {
+				t.Errorf("suppressed finding without reason: %+v", d)
+			}
+			continue
+		}
+		unsuppressed[d.Rule]++
+		if strings.HasSuffix(d.File, "_test.go") {
+			testFileFindings++
+		}
+		if strings.HasPrefix(d.File, "cmd/") && d.Rule == "walltime" {
+			t.Errorf("walltime flagged inside a command: %+v", d)
+		}
+	}
+	for _, rule := range []string{"globalrand", "detrange", "floateq", "droppederr",
+		"walltime", "looproutine", "lockleak", "atomicmix", "ctxhttp"} {
+		if unsuppressed[rule] == 0 {
+			t.Errorf("fixture tripped no %s finding", rule)
+		}
+	}
+	if suppressedRules == 0 {
+		t.Error("no suppressed finding in fixture; -suppressed path untested")
+	}
+	if testFileFindings == 0 {
+		t.Error("no finding from a _test.go file; -tests coverage untested")
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/pqlint -run TestGoldenJSON -update` to create it)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("-json output drifted from golden file (re-run with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			stdout.String(), want)
 	}
 }
 

@@ -1,0 +1,14 @@
+// Command tool reads the wall clock at the process boundary, which the
+// walltime rule exempts: commands own their timing, on stderr.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "elapsed:", time.Since(start))
+}

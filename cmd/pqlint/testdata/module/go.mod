@@ -1,0 +1,3 @@
+module pqlint.test/golden
+
+go 1.22

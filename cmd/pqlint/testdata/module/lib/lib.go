@@ -1,0 +1,87 @@
+// Package lib trips every pqlint rule exactly once, in registry order,
+// so the golden -json output freezes each rule's message and position.
+package lib
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Draw uses the shared global generator: globalrand.
+func Draw() int {
+	return rand.Intn(6)
+}
+
+// Keys leaks map order into a slice: detrange.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Eq compares floats exactly: floateq.
+func Eq(a, b float64) bool {
+	return a == b
+}
+
+// MustClose discards the close error: droppederr.
+func MustClose(c io.Closer) {
+	_ = c.Close()
+}
+
+// Stamp reads the wall clock in library code: walltime.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Spawn forks per element with no join: looproutine.
+func Spawn(fs []func()) {
+	for _, f := range fs {
+		go f()
+	}
+}
+
+// Box locks without unlocking on the return path: lockleak.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Peek returns with the mutex held.
+func (b *Box) Peek() int {
+	b.mu.Lock()
+	return b.n
+}
+
+var hits int64
+
+// Hit counts atomically; Hits reads the same word plainly: atomicmix.
+func Hit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// Hits performs the plain read half of the mix.
+func Hits() int64 {
+	return hits
+}
+
+// Ping issues a context-less request: ctxhttp.
+func Ping(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Tie documents an intentional exact comparison: the directive keeps the
+// finding suppressed (and exercised, so it never goes stale).
+func Tie(a, b float64) bool {
+	return a != b //pqlint:allow floateq exact ties are the documented exception
+}

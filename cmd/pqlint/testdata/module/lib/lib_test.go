@@ -1,0 +1,15 @@
+package lib
+
+import "testing"
+
+// TestEq carries a finding of its own, proving _test.go files are
+// analyzed when -tests is on (the default).
+func TestEq(t *testing.T) {
+	var x, y float64 = 1, 1
+	if x == y {
+		t.Log("exact tie")
+	}
+	if !Eq(1, 1) {
+		t.Fatal("Eq(1, 1)")
+	}
+}

@@ -65,7 +65,7 @@ func BenchmarkServeConcurrentClients(b *testing.B) {
 	}
 	client := ts.Client()
 	for _, p := range paths { // warm the cache so steady state is measured
-		resp, err := client.Get(p)
+		resp, err := httpGet(client, p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func BenchmarkServeConcurrentClients(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			p := paths[next.Add(1)%uint64(len(paths))]
-			resp, err := client.Get(p)
+			resp, err := httpGet(client, p)
 			if err != nil {
 				b.Error(err)
 				return

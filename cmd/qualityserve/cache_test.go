@@ -108,7 +108,7 @@ func TestServiceQueryCache(t *testing.T) {
 
 	get := func(path string) (int, []byte) {
 		t.Helper()
-		resp, err := ts.Client().Get(ts.URL + path)
+		resp, err := httpGet(ts.Client(), ts.URL+path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +181,7 @@ func TestServiceCacheConcurrent(t *testing.T) {
 	}
 	want := make(map[string][]byte, len(paths))
 	for _, p := range paths {
-		resp, err := ts.Client().Get(ts.URL + p)
+		resp, err := httpGet(ts.Client(), ts.URL+p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +201,7 @@ func TestServiceCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for it := 0; it < iters; it++ {
 				p := paths[(w*7+it)%len(paths)]
-				resp, err := ts.Client().Get(ts.URL + p)
+				resp, err := httpGet(ts.Client(), ts.URL+p)
 				if err != nil {
 					t.Error(err)
 					return
@@ -238,7 +238,7 @@ func TestServiceCacheConcurrent(t *testing.T) {
 		t.Fatalf("entries %d exceed capacity %d", n, c)
 	}
 	// /stats must reflect the same counters.
-	resp, err := ts.Client().Get(ts.URL + "/stats")
+	resp, err := httpGet(ts.Client(), ts.URL+"/stats")
 	if err != nil {
 		t.Fatal(err)
 	}

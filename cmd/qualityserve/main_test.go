@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -54,7 +55,7 @@ func buildFixture(t testing.TB) (storePath, archiveDir string) {
 			t.Fatal(err)
 		}
 		ts := httptest.NewServer(srv)
-		seeds, err := crawler.FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+		seeds, err := crawler.FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func TestServiceSearch(t *testing.T) {
 		if mode != "" {
 			u += "&rank=" + mode
 		}
-		resp, err := ts.Client().Get(u)
+		resp, err := httpGet(ts.Client(), u)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,12 +141,12 @@ func TestServiceStatsAndHealth(t *testing.T) {
 	}
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
-	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	resp, err := httpGet(ts.Client(), ts.URL+"/healthz")
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %v %v", resp, err)
 	}
 	resp.Body.Close()
-	resp, err = ts.Client().Get(ts.URL + "/stats")
+	resp, err = httpGet(ts.Client(), ts.URL+"/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestServiceBadRequests(t *testing.T) {
 		"/search?q=x&rank=bogus", // bad mode
 		"/search?q=...",          // tokenizes to nothing
 	} {
-		resp, err := ts.Client().Get(ts.URL + path)
+		resp, err := httpGet(ts.Client(), ts.URL+path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,7 +209,7 @@ func TestServiceBadRequests(t *testing.T) {
 			t.Fatalf("%s -> %d, want 400", path, resp.StatusCode)
 		}
 	}
-	resp, err := ts.Client().Get(ts.URL + "/nope")
+	resp, err := httpGet(ts.Client(), ts.URL+"/nope")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,4 +259,14 @@ func TestRunWiresListener(t *testing.T) {
 	if err := run([]string{"-store", storePath}, &buf, listen); err == nil {
 		t.Fatal("missing -archive accepted")
 	}
+}
+
+// httpGet issues a GET carrying an explicit context, so test traffic
+// meets the same ctxhttp cancellation discipline as the serving stack.
+func httpGet(c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
 }

@@ -151,7 +151,7 @@ func TestServiceCacheKeyNormalizesK(t *testing.T) {
 
 	topic := webcorpus.SiteTopic(0)
 	for _, k := range []int{500, 1000} {
-		resp, err := ts.Client().Get(fmt.Sprintf("%s/search?q=%s&k=%d", ts.URL, topic, k))
+		resp, err := httpGet(ts.Client(), fmt.Sprintf("%s/search?q=%s&k=%d", ts.URL, topic, k))
 		if err != nil || resp.StatusCode != http.StatusOK {
 			t.Fatalf("k=%d: %v %v", k, resp, err)
 		}
@@ -181,7 +181,7 @@ func TestServiceRefresh(t *testing.T) {
 
 	getJSON := func(path string) (map[string]uint64, http.Header) {
 		t.Helper()
-		resp, err := ts.Client().Get(ts.URL + path)
+		resp, err := httpGet(ts.Client(), ts.URL+path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +285,7 @@ func TestServiceGenerationConsistency(t *testing.T) {
 					return
 				default:
 				}
-				resp, err := ts.Client().Get(fmt.Sprintf("%s/search?q=alpha+beta&k=%d", ts.URL, 3+(w+it)%5))
+				resp, err := httpGet(ts.Client(), fmt.Sprintf("%s/search?q=alpha+beta&k=%d", ts.URL, 3+(w+it)%5))
 				if err != nil {
 					t.Error(err)
 					return

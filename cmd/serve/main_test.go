@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -47,7 +48,7 @@ func TestNewHandlerDefaultsToLast(t *testing.T) {
 	}
 	ts := httptest.NewServer(h)
 	defer ts.Close()
-	resp, err := ts.Client().Get(ts.URL + "/seeds.txt")
+	resp, err := httpGet(ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestServeThenCrawlRoundTrip(t *testing.T) {
 	}
 	ts := httptest.NewServer(h)
 	defer ts.Close()
-	seeds, err := crawler.FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := crawler.FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,4 +176,14 @@ func TestRunWithoutFaultFlagsServesDirectly(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("seeds status %d", rec.Code)
 	}
+}
+
+// httpGet issues a GET carrying an explicit context, so test traffic
+// meets the same ctxhttp cancellation discipline as the serving stack.
+func httpGet(c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
 }

@@ -1,6 +1,7 @@
 package pagequality_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestCrawledPipeline(t *testing.T) {
 			t.Fatal(err)
 		}
 		ts := httptest.NewServer(srv)
-		seeds, err := crawler.FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+		seeds, err := crawler.FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 		if err != nil {
 			ts.Close()
 			t.Fatal(err)

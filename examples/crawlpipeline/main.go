@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -51,7 +52,7 @@ func main() {
 			log.Fatal(err)
 		}
 		ts := httptest.NewServer(srv)
-		seeds, err := crawler.FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+		seeds, err := crawler.FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 		if err != nil {
 			log.Fatal(err)
 		}

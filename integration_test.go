@@ -244,16 +244,28 @@ func TestInDegreeSeriesAsPopularity(t *testing.T) {
 		if !est.Changed[i] || future[i] == 0 {
 			continue
 		}
-		eq, _ := metrics.RelativeError(est.Q[i], future[i])
-		ep, _ := metrics.RelativeError(series[2][i], future[i])
+		eq, err := metrics.RelativeError(est.Q[i], future[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := metrics.RelativeError(series[2][i], future[i])
+		if err != nil {
+			t.Fatal(err)
+		}
 		q = append(q, eq)
 		p = append(p, ep)
 	}
 	if len(q) < 30 {
 		t.Fatalf("only %d changed pages", len(q))
 	}
-	sq, _ := metrics.Summarize(q)
-	sp, _ := metrics.Summarize(p)
+	sq, err := metrics.Summarize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := metrics.Summarize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sq.Mean >= sp.Mean {
 		t.Fatalf("in-degree estimator %.3f not below baseline %.3f", sq.Mean, sp.Mean)
 	}

@@ -1,12 +1,28 @@
-// Package analysis is a stdlib-only static-analysis driver enforcing the
-// repo's determinism invariants: no package-level math/rand in library
-// code, no nondeterministic map-iteration leaks into ordered output, no
-// bare float equality outside documented tie handling, and no silently
-// discarded errors or dead assignments. The rules exist because the whole
-// experimental pipeline (webcorpus evolution → snapshots → ΔPR → Q(p)) is
-// only reproducible while every stochastic component is explicitly seeded
-// and every ordered output is explicitly ordered; see DESIGN.md
-// "Determinism invariants and pqlint".
+// Package analysis is a stdlib-only, pass-based static-analysis framework
+// enforcing the repo's determinism and concurrency invariants. The paper's
+// Q(p) estimator is only trustworthy while every run is reproducible, and
+// the serving/crawl stack is only scalable while its concurrency is
+// mechanically disciplined; the rule suite locks both in:
+//
+// Determinism rules (PR 2): no package-level math/rand in library code
+// (globalrand), no map-iteration order leaking into ordered or
+// float-accumulated output (detrange), no bare float equality outside
+// documented tie handling (floateq), no silently discarded errors
+// (droppederr).
+//
+// Concurrency and wall-clock rules (PR 7): no wall-clock reads in
+// deterministic library code — injectable clocks only (walltime), no
+// unbounded goroutine launches in loops (looproutine), no mutex Lock
+// without an Unlock on every path (lockleak), no mixing sync/atomic and
+// plain access to the same field (atomicmix), and no context-less HTTP
+// request construction (ctxhttp).
+//
+// Architecture (in the spirit of x/tools/go/analysis): each package is
+// traversed once into a shared Inspector (see inspector.go); analyzers
+// are registered passes that declare what they Require and return a
+// result ("fact") that dependent passes read through Pass.ResultOf.
+// Findings from every pass are merged and sorted deterministically, so
+// pqlint output is bitwise stable at any loader worker count.
 //
 // Intentional exceptions are suppressed in source with a directive:
 //
@@ -14,7 +30,9 @@
 //
 // placed on the flagged line, on the line immediately above it, or in the
 // doc comment of the enclosing top-level declaration (which suppresses the
-// rule for the whole declaration). The reason is mandatory.
+// rule for the whole declaration). The reason is mandatory, and a
+// directive that suppresses nothing is itself reported as stale — allows
+// must die with the code they excused.
 package analysis
 
 import (
@@ -44,10 +62,21 @@ func (d Diagnostic) String() string {
 
 // A Pass carries one type-checked package through one analyzer run.
 type Pass struct {
+	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// IsCommand is true for package main and its test variants. Rules
+	// that only bind library code (walltime) consult it: commands own
+	// the process boundary, where wall-clock timing on stderr is the
+	// documented idiom.
+	IsCommand bool
+
+	// ResultOf holds the results ("facts") of every pass this analyzer
+	// Requires, keyed by the required analyzer.
+	ResultOf map[*Analyzer]any
 
 	report func(token.Pos, string, string)
 }
@@ -57,11 +86,34 @@ func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
 	p.report(pos, rule, fmt.Sprintf(format, args...))
 }
 
-// An Analyzer is one named rule.
+// Inspector returns the shared traversal built by InspectAnalyzer, which
+// every rule Requires.
+func (p *Pass) Inspector() *Inspector {
+	ins, _ := p.ResultOf[InspectAnalyzer].(*Inspector)
+	return ins
+}
+
+// An Analyzer is one named pass: a rule, or an internal fact producer
+// like InspectAnalyzer.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+	// Requires lists passes that must run first on the same package;
+	// their results are available through Pass.ResultOf.
+	Requires []*Analyzer
+	// Run executes the pass and returns its result (nil is fine for
+	// rules that only report diagnostics).
+	Run func(*Pass) (any, error)
+}
+
+// InspectAnalyzer is the internal pass producing the package's shared
+// *Inspector. Every rule Requires it; it reports nothing itself.
+var InspectAnalyzer = &Analyzer{
+	Name: "inspect",
+	Doc:  "build the shared AST traversal every rule replays",
+	Run: func(pass *Pass) (any, error) {
+		return NewInspector(pass.Files), nil
+	},
 }
 
 // Analyzers returns the full rule suite in stable order.
@@ -71,6 +123,11 @@ func Analyzers() []*Analyzer {
 		DetRangeAnalyzer,
 		FloatEqAnalyzer,
 		DroppedErrAnalyzer,
+		WallTimeAnalyzer,
+		LoopRoutineAnalyzer,
+		LockLeakAnalyzer,
+		AtomicMixAnalyzer,
+		CtxHTTPAnalyzer,
 	}
 }
 
@@ -87,12 +144,13 @@ func AnalyzerNames() []string {
 // DirectivePrefix is the comment prefix of a suppression directive.
 const DirectivePrefix = "//pqlint:allow"
 
-// directiveRule is the pseudo-rule under which malformed suppression
-// directives are reported.
+// directiveRule is the pseudo-rule under which malformed and stale
+// suppression directives are reported.
 const directiveRule = "directive"
 
 // allowSite is one parsed //pqlint:allow directive.
 type allowSite struct {
+	pos    token.Position
 	rule   string
 	reason string
 	used   bool
@@ -100,12 +158,14 @@ type allowSite struct {
 
 // suppressions indexes the allow directives of one package.
 type suppressions struct {
-	fset *token.FileSet
 	// byLine maps file -> line -> directives attached to that line.
 	byLine map[string]map[int][]*allowSite
 	// byDecl maps directives found in a top-level declaration's doc
 	// comment to the declaration's position extent.
 	byDecl []declAllow
+	// sites lists every directive in parse order, for staleness
+	// aggregation.
+	sites []*allowSite
 }
 
 type declAllow struct {
@@ -117,7 +177,7 @@ type declAllow struct {
 // parseSuppressions scans the comments of files for allow directives,
 // reporting malformed ones through report.
 func parseSuppressions(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, rule, format string, args ...any)) *suppressions {
-	s := &suppressions{fset: fset, byLine: make(map[string]map[int][]*allowSite)}
+	s := &suppressions{byLine: make(map[string]map[int][]*allowSite)}
 	for _, f := range files {
 		// Doc-comment directives cover their whole declaration.
 		docEnd := make(map[*ast.CommentGroup][2]token.Pos) // doc group -> decl extent
@@ -155,7 +215,12 @@ func parseSuppressions(fset *token.FileSet, files []*ast.File, report func(pos t
 						rule, strings.Join(AnalyzerNames(), ", "))
 					continue
 				}
-				site := &allowSite{rule: rule, reason: strings.Join(fields[1:], " ")}
+				site := &allowSite{
+					pos:    fset.Position(c.Pos()),
+					rule:   rule,
+					reason: strings.Join(fields[1:], " "),
+				}
+				s.sites = append(s.sites, site)
 				if ext, ok := docEnd[cg]; ok {
 					from := fset.Position(ext[0])
 					to := fset.Position(ext[1])
@@ -164,7 +229,7 @@ func parseSuppressions(fset *token.FileSet, files []*ast.File, report func(pos t
 					})
 					continue
 				}
-				pos := fset.Position(c.Pos())
+				pos := site.pos
 				if s.byLine[pos.Filename] == nil {
 					s.byLine[pos.Filename] = make(map[int][]*allowSite)
 				}
@@ -207,10 +272,53 @@ func knownRule(name string) bool {
 	return false
 }
 
-// RunAnalyzers applies every analyzer to every package and returns all
-// diagnostics (suppressed ones included, flagged) in deterministic
-// file/line/column/rule order.
+// schedule expands the requested analyzers into execution order: every
+// transitively Required pass precedes its dependents, each pass appearing
+// once. The requested order is preserved for passes at the same depth, so
+// output is deterministic.
+func schedule(analyzers []*Analyzer) []*Analyzer {
+	var order []*Analyzer
+	seen := make(map[*Analyzer]bool)
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		order = append(order, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return order
+}
+
+// staleKey dedupes one physical directive across package variants: the
+// same //pqlint:allow line is parsed once in the plain package and again
+// in its test variant, and is live if either run used it.
+type staleKey struct {
+	file string
+	line int
+	rule string
+}
+
+// RunAnalyzers applies every analyzer (plus whatever they Require) to
+// every package and returns all diagnostics — suppressed ones included,
+// flagged — in deterministic file/line/column/rule order. A directive
+// that suppressed nothing across the whole run is reported as a stale
+// "directive" diagnostic, but only for rules that actually ran: an allow
+// for a rule excluded by -rules is dormant, not stale.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	stale := make(map[staleKey]*allowSite)
+	var staleOrder []staleKey
+
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
@@ -230,10 +338,30 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			IsCommand: pkg.IsCommand,
+			ResultOf:  make(map[*Analyzer]any),
 			report:    report,
 		}
-		for _, a := range analyzers {
-			a.Run(pass)
+		for _, a := range schedule(analyzers) {
+			pass.Analyzer = a
+			res, err := a.Run(pass)
+			if err != nil {
+				report(token.NoPos, a.Name, fmt.Sprintf("analyzer failed: %v", err))
+				continue
+			}
+			pass.ResultOf[a] = res
+		}
+		// A test variant re-checks the plain files alongside the _test.go
+		// files; only findings in the test files are new — the rest were
+		// already reported by the plain package.
+		if pkg.ForTest != "" {
+			kept := raw[:0]
+			for _, d := range raw {
+				if pkg.TestGoFiles[d.Pos.Filename] {
+					kept = append(kept, d)
+				}
+			}
+			raw = kept
 		}
 		for i := range raw {
 			if site := sup.match(raw[i].Pos, raw[i].Rule); site != nil {
@@ -242,6 +370,29 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		diags = append(diags, raw...)
+		for _, site := range sup.sites {
+			if !ran[site.rule] {
+				continue
+			}
+			key := staleKey{file: site.pos.Filename, line: site.pos.Line, rule: site.rule}
+			prev, ok := stale[key]
+			if !ok {
+				stale[key] = site
+				staleOrder = append(staleOrder, key)
+			} else if site.used && !prev.used {
+				stale[key] = site
+			}
+		}
+	}
+	for _, key := range staleOrder {
+		if site := stale[key]; !site.used {
+			diags = append(diags, Diagnostic{
+				Pos:  site.pos,
+				Rule: directiveRule,
+				Message: fmt.Sprintf(
+					"stale //pqlint:allow %s directive: no finding suppressed; delete it", site.rule),
+			})
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -165,9 +165,11 @@ func unknownRule() {}
 	}
 }
 
-// TestModuleIsClean is the dogfood gate: the repo itself must type-check
-// fully and carry zero un-suppressed diagnostics, mirroring the tier-1
-// `go run ./cmd/pqlint ./...` contract.
+// TestModuleIsClean is the dogfood gate: the repo itself — _test.go files
+// included — must type-check fully and carry zero un-suppressed
+// diagnostics, mirroring the tier-1 `go run ./cmd/pqlint ./...` contract.
+// Stale //pqlint:allow directives surface here as un-suppressed
+// "directive" findings, so dead allows fail the build too.
 func TestModuleIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the whole module")
@@ -176,21 +178,64 @@ func TestModuleIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := analysis.LoadModule(root)
+	pkgs, err := analysis.LoadModule(root, analysis.LoadOptions{Tests: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
+	variants := 0
 	for _, p := range pkgs {
 		if len(p.TypeErrors) > 0 {
 			t.Errorf("%s: type errors (analysis would degrade): first: %v", p.Path, p.TypeErrors[0])
 		}
+		if p.ForTest != "" {
+			variants++
+		}
+	}
+	if variants == 0 {
+		t.Error("no test-variant packages loaded; -tests coverage is dead")
 	}
 	for _, d := range analysis.RunAnalyzers(pkgs, analysis.Analyzers()) {
 		if !d.Suppressed {
 			t.Errorf("un-suppressed diagnostic in tree: %s", d)
+		}
+	}
+}
+
+// TestStaleAllowDirective checks that a //pqlint:allow which suppresses
+// nothing is reported, and only for rules that actually ran.
+func TestStaleAllowDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package stale
+
+//pqlint:allow floateq historical comparison long since deleted
+func nothingToSuppress() int { return 1 }
+`
+	if err := os.WriteFile(filepath.Join(dir, "stale.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadDir(dir, "pqlint.test/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.RunAnalyzers([]*analysis.Package{pkg}, analysis.Analyzers())
+	found := false
+	for _, d := range diags {
+		if d.Rule == "directive" && strings.Contains(d.Message, "stale") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stale directive not reported; got %v", diags)
+	}
+	// The same package analyzed without floateq: the allow is dormant,
+	// not stale.
+	for _, d := range analysis.RunAnalyzers([]*analysis.Package{pkg},
+		[]*analysis.Analyzer{analyzerByName(t, "globalrand")}) {
+		if d.Rule == "directive" {
+			t.Errorf("dormant directive misreported as stale: %s", d)
 		}
 	}
 }

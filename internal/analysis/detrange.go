@@ -13,37 +13,38 @@ import (
 // or accumulate floating-point sums (float addition is not associative,
 // so the iteration order changes the bits of the result).
 var DetRangeAnalyzer = &Analyzer{
-	Name: "detrange",
-	Doc:  "flag map iteration whose order leaks into ordered or float-accumulated output",
-	Run:  runDetRange,
+	Name:     "detrange",
+	Doc:      "flag map iteration whose order leaks into ordered or float-accumulated output",
+	Requires: []*Analyzer{InspectAnalyzer},
+	Run:      runDetRange,
 }
 
-func runDetRange(pass *Pass) {
-	for _, f := range pass.Files {
-		// Track the innermost enclosing function body of each range
-		// statement so the post-loop sort check has a scope to search.
-		var funcStack []ast.Node
-		var walk func(n ast.Node) bool
-		walk = func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl, *ast.FuncLit:
-				funcStack = append(funcStack, n)
-				ast.Inspect(childBody(n), walk)
-				funcStack = funcStack[:len(funcStack)-1]
-				return false
-			case *ast.RangeStmt:
-				if isMapType(pass, n.X) {
-					var encl ast.Node
-					if len(funcStack) > 0 {
-						encl = funcStack[len(funcStack)-1]
-					}
-					checkMapRange(pass, n, encl)
+func runDetRange(pass *Pass) (any, error) {
+	pass.Inspector().WithStack([]ast.Node{(*ast.RangeStmt)(nil)},
+		func(n ast.Node, push bool, stack []ast.Node) bool {
+			if !push {
+				return true
+			}
+			rng := n.(*ast.RangeStmt)
+			if !isMapType(pass, rng.X) {
+				return true
+			}
+			// The innermost enclosing function gives the post-loop sort
+			// check its scope to search.
+			var encl ast.Node
+			for i := len(stack) - 2; i >= 0; i-- {
+				switch stack[i].(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					encl = stack[i]
+				}
+				if encl != nil {
+					break
 				}
 			}
+			checkMapRange(pass, rng, encl)
 			return true
-		}
-		ast.Inspect(f, walk)
-	}
+		})
+	return nil, nil
 }
 
 func childBody(n ast.Node) ast.Node {

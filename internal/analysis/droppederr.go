@@ -12,62 +12,62 @@ import (
 // numerical preconditions (convergence, alignment, fit shape); dropping
 // one turns a loud failure into a silently wrong figure.
 var DroppedErrAnalyzer = &Analyzer{
-	Name: "droppederr",
-	Doc:  "flag blank-discarded errors and dead `_ = x` assignments",
-	Run:  runDroppedErr,
+	Name:     "droppederr",
+	Doc:      "flag blank-discarded errors and dead `_ = x` assignments",
+	Requires: []*Analyzer{InspectAnalyzer},
+	Run:      runDroppedErr,
 }
 
-func runDroppedErr(pass *Pass) {
+func runDroppedErr(pass *Pass) (any, error) {
 	errType := types.Universe.Lookup("error").Type()
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok {
-				return true
+	pass.Inspector().Preorder([]ast.Node{(*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		as := n.(*ast.AssignStmt)
+		checkDroppedErr(pass, as, errType)
+	})
+	return nil, nil
+}
+
+func checkDroppedErr(pass *Pass, as *ast.AssignStmt, errType types.Type) {
+	// Multi-value form: x, _ := f() — check each blanked slot against
+	// the call's result tuple.
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return // comma-ok forms (map index, type assert, recv)
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok || tv.Type == nil {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if !isBlank(lhs) {
+				continue
 			}
-			// Multi-value form: x, _ := f() — check each blanked slot
-			// against the call's result tuple.
-			if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
-				call, ok := as.Rhs[0].(*ast.CallExpr)
-				if !ok {
-					return true // comma-ok forms (map index, type assert, recv)
-				}
-				tv, ok := pass.TypesInfo.Types[call]
-				if !ok || tv.Type == nil {
-					return true
-				}
-				tuple, ok := tv.Type.(*types.Tuple)
-				if !ok || tuple.Len() != len(as.Lhs) {
-					return true
-				}
-				for i, lhs := range as.Lhs {
-					if !isBlank(lhs) {
-						continue
-					}
-					if types.Identical(tuple.At(i).Type(), errType) {
-						pass.Reportf(lhs.Pos(), "droppederr",
-							"result %d of %s is an error discarded with _; handle it or //pqlint:allow droppederr",
-							i+1, callName(call))
-					}
-				}
-				return true
+			if types.Identical(tuple.At(i).Type(), errType) {
+				pass.Reportf(lhs.Pos(), "droppederr",
+					"result %d of %s is an error discarded with _; handle it or //pqlint:allow droppederr",
+					i+1, callName(call))
 			}
-			// Single form: _ = <expr>.
-			if len(as.Lhs) == 1 && len(as.Rhs) == 1 && isBlank(as.Lhs[0]) {
-				rhs := as.Rhs[0]
-				tv, ok := pass.TypesInfo.Types[rhs]
-				if ok && tv.Type != nil && types.Identical(tv.Type, errType) {
-					pass.Reportf(as.Pos(), "droppederr",
-						"error discarded with _ = ...; handle it or //pqlint:allow droppederr")
-					return true
-				}
-				if sideEffectFree(rhs) {
-					pass.Reportf(as.Pos(), "droppederr",
-						"dead assignment: _ = %s has no effect; delete it", exprString(rhs))
-				}
-			}
-			return true
-		})
+		}
+		return
+	}
+	// Single form: _ = <expr>.
+	if len(as.Lhs) == 1 && len(as.Rhs) == 1 && isBlank(as.Lhs[0]) {
+		rhs := as.Rhs[0]
+		tv, ok := pass.TypesInfo.Types[rhs]
+		if ok && tv.Type != nil && types.Identical(tv.Type, errType) {
+			pass.Reportf(as.Pos(), "droppederr",
+				"error discarded with _ = ...; handle it or //pqlint:allow droppederr")
+			return
+		}
+		if sideEffectFree(rhs) {
+			pass.Reportf(as.Pos(), "droppederr",
+				"dead assignment: _ = %s has no effect; delete it", exprString(rhs))
+		}
 	}
 }
 

@@ -14,36 +14,35 @@ import (
 // against a constant (x == 0, x != 1) are exempt: they test exact
 // sentinel values, which IEEE 754 represents and propagates exactly.
 var FloatEqAnalyzer = &Analyzer{
-	Name: "floateq",
-	Doc:  "flag ==/!= between non-constant floating-point operands",
-	Run:  runFloatEq,
+	Name:     "floateq",
+	Doc:      "flag ==/!= between non-constant floating-point operands",
+	Requires: []*Analyzer{InspectAnalyzer},
+	Run:      runFloatEq,
 }
 
-func runFloatEq(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			be, ok := n.(*ast.BinaryExpr)
-			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-				return true
-			}
-			x, xok := pass.TypesInfo.Types[be.X]
-			y, yok := pass.TypesInfo.Types[be.Y]
-			if !xok || !yok {
-				return true
-			}
-			// A constant operand means an exact-sentinel test; skip.
-			if x.Value != nil || y.Value != nil {
-				return true
-			}
-			if !isFloatTV(x) && !isFloatTV(y) {
-				return true
-			}
-			pass.Reportf(be.OpPos, "floateq",
-				"%s between floating-point values; compare with a tolerance, or document exact-tie intent with //pqlint:allow floateq",
-				be.Op)
-			return true
-		})
-	}
+func runFloatEq(pass *Pass) (any, error) {
+	pass.Inspector().Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		x, xok := pass.TypesInfo.Types[be.X]
+		y, yok := pass.TypesInfo.Types[be.Y]
+		if !xok || !yok {
+			return
+		}
+		// A constant operand means an exact-sentinel test; skip.
+		if x.Value != nil || y.Value != nil {
+			return
+		}
+		if !isFloatTV(x) && !isFloatTV(y) {
+			return
+		}
+		pass.Reportf(be.OpPos, "floateq",
+			"%s between floating-point values; compare with a tolerance, or document exact-tie intent with //pqlint:allow floateq",
+			be.Op)
+	})
+	return nil, nil
 }
 
 func isFloatTV(tv types.TypeAndValue) bool {

@@ -13,9 +13,10 @@ import (
 // locally owned *rand.Rand. Constructors that build injectable generators
 // (rand.New, rand.NewSource, rand.NewZipf) stay legal.
 var GlobalRandAnalyzer = &Analyzer{
-	Name: "globalrand",
-	Doc:  "forbid package-level math/rand functions; inject a seeded *rand.Rand",
-	Run:  runGlobalRand,
+	Name:     "globalrand",
+	Doc:      "forbid package-level math/rand functions; inject a seeded *rand.Rand",
+	Requires: []*Analyzer{InspectAnalyzer},
+	Run:      runGlobalRand,
 }
 
 // globalRandAllowed are the math/rand package-level names that construct
@@ -35,11 +36,12 @@ var globalRandAllowed = map[string]bool{
 	"NewChaCha8": true, // math/rand/v2
 }
 
-func runGlobalRand(pass *Pass) {
+func runGlobalRand(pass *Pass) (any, error) {
+	// Fallback for files whose type info is partial: the local names
+	// under which math/rand is imported, per file.
+	randNames := make(map[*ast.File]map[string]bool, len(pass.Files))
 	for _, f := range pass.Files {
-		// Fallback for files whose type info is partial: the local name
-		// under which math/rand is imported.
-		randNames := map[string]bool{}
+		names := map[string]bool{}
 		for _, spec := range f.Imports {
 			path := strings.Trim(spec.Path.Value, `"`)
 			if path != "math/rand" && path != "math/rand/v2" {
@@ -50,14 +52,17 @@ func runGlobalRand(pass *Pass) {
 				name = spec.Name.Name
 			}
 			if name != "_" && name != "." {
-				randNames[name] = true
+				names[name] = true
 			}
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
+		randNames[f] = names
+	}
+	pass.Inspector().WithStack([]ast.Node{(*ast.SelectorExpr)(nil)},
+		func(n ast.Node, push bool, stack []ast.Node) bool {
+			if !push {
 				return true
 			}
+			sel := n.(*ast.SelectorExpr)
 			id, ok := sel.X.(*ast.Ident)
 			if !ok {
 				return true
@@ -70,8 +75,8 @@ func runGlobalRand(pass *Pass) {
 				}
 				p := pn.Imported().Path()
 				isRandPkg = p == "math/rand" || p == "math/rand/v2"
-			} else {
-				isRandPkg = randNames[id.Name]
+			} else if f, ok := stack[0].(*ast.File); ok {
+				isRandPkg = randNames[f][id.Name]
 			}
 			if !isRandPkg || globalRandAllowed[sel.Sel.Name] {
 				return true
@@ -88,5 +93,5 @@ func runGlobalRand(pass *Pass) {
 				sel.Sel.Name)
 			return true
 		})
-	}
+	return nil, nil
 }

@@ -4,14 +4,15 @@ import (
 	"fmt"
 	"go/ast"
 	"go/build"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one parsed and type-checked module package ready for
@@ -20,8 +21,20 @@ import (
 // resolved) without aborting the load, because the analyzers degrade
 // gracefully on partial type information.
 type Package struct {
-	Path       string // import path
-	Dir        string
+	Path string // import path ("path_test" for external test packages)
+	Dir  string
+	// ForTest is the import path of the package under test when this
+	// package is a test variant (the package's own files plus its
+	// in-package _test.go files) or an external _test package; "" for a
+	// plain package. Analyzers report only _test.go findings from test
+	// variants — the plain files were already covered by the plain
+	// package.
+	ForTest string
+	// TestGoFiles marks the absolute filenames of this package's
+	// _test.go files.
+	TestGoFiles map[string]bool
+	// IsCommand is true for package main and its test variants.
+	IsCommand  bool
 	Fset       *token.FileSet
 	Files      []*ast.File
 	Types      *types.Package
@@ -29,44 +42,16 @@ type Package struct {
 	TypeErrors []error
 }
 
-// chainImporter resolves module-local imports from the packages already
-// checked in this load and everything else (the stdlib — the module has
-// no external dependencies) from source. Unresolvable imports yield an
-// empty placeholder package instead of failing the whole load.
-type chainImporter struct {
-	modulePath string
-	local      map[string]*types.Package
-	std        types.Importer
-	failed     map[string]*types.Package
-}
-
-func (im *chainImporter) Import(path string) (*types.Package, error) {
-	if p, ok := im.local[path]; ok {
-		return p, nil
-	}
-	if p, ok := im.failed[path]; ok {
-		return p, nil
-	}
-	p, err := im.std.Import(path)
-	if err != nil || p == nil {
-		name := path
-		if i := strings.LastIndexByte(name, '/'); i >= 0 {
-			name = name[i+1:]
-		}
-		fake := types.NewPackage(path, name)
-		fake.MarkComplete()
-		im.failed[path] = fake
-		return fake, nil
-	}
-	return p, nil
-}
-
-// newStdImporter builds the source importer used for stdlib packages.
-// CGO is forced off first so packages like net type-check from their
-// pure-Go fallback files instead of invoking a C toolchain.
-func newStdImporter(fset *token.FileSet) types.Importer {
-	build.Default.CgoEnabled = false
-	return importer.ForCompiler(fset, "source", nil)
+// LoadOptions configures LoadModule.
+type LoadOptions struct {
+	// Tests includes _test.go files: every package with in-package test
+	// files gains a test variant, and external _test packages are loaded
+	// as their own packages.
+	Tests bool
+	// Workers bounds the number of concurrent type-check workers;
+	// <= 0 means GOMAXPROCS. Results are identical at every worker
+	// count — the schedule only changes wall time.
+	Workers int
 }
 
 // ModulePath reads the module path from the go.mod at root.
@@ -84,27 +69,282 @@ func ModulePath(root string) (string, error) {
 	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
 }
 
-// LoadModule parses and type-checks every non-test package under root
-// (the module root), skipping testdata and hidden directories. Packages
-// come back in dependency (topological) order.
-func LoadModule(root string) ([]*Package, error) {
-	modPath, err := ModulePath(root)
-	if err != nil {
-		return nil, err
+// loadNode is one package (module or stdlib) in the load graph.
+type loadNode struct {
+	id      string // unique node id (import path, suffixed for variants)
+	path    string // the types.Package path
+	dir     string
+	std     bool
+	files   []string    // absolute source filenames (stdlib: parsed lazily)
+	syntax  []*ast.File // module files, parsed up front
+	resolve map[string]*loadNode
+
+	deps       []*loadNode
+	dependents []*loadNode
+	npending   int
+
+	forTest   string
+	testFiles map[string]bool
+	isCommand bool
+
+	tpkg *types.Package
+	info *types.Info
+	errs []error
+}
+
+// loader carries the whole load: the shared FileSet, the node universe,
+// and the pre-frozen placeholder packages for unresolvable imports.
+// Everything here is built serially; the parallel phase only reads it
+// (and writes each node's own result fields, which dependents observe
+// only after the scheduler's happens-before edge).
+type loader struct {
+	fset  *token.FileSet
+	bctx  build.Context
+	nodes []*loadNode
+	// stdByDir dedupes stdlib packages by resolved directory — the one
+	// canonical spelling of each package even through GOROOT vendoring.
+	stdByDir map[string]*loadNode
+	// fakes holds an empty placeholder package per unresolvable import
+	// path, so analyzers degrade gracefully instead of the load dying.
+	fakes map[string]*types.Package
+}
+
+// fakeFor returns (creating if needed) the placeholder for an import
+// path that could not be resolved. Serial-phase only.
+func (ld *loader) fakeFor(path string) *types.Package {
+	if p, ok := ld.fakes[path]; ok {
+		return p
 	}
-	root, err = filepath.Abs(root)
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	ld.fakes[path] = p
+	return p
+}
+
+// resolveStd resolves one stdlib import as seen from srcDir (srcDir makes
+// GOROOT vendoring work: net/http's golang.org/x/net deps live under
+// GOROOT/src/vendor and only resolve relative to an importer inside
+// GOROOT). New packages join the BFS frontier. Serial-phase only.
+func (ld *loader) resolveStd(path, srcDir string, frontier *[]*loadNode) *loadNode {
+	bp, err := ld.bctx.Import(path, srcDir, 0)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
+		return nil
+	}
+	if n, ok := ld.stdByDir[bp.Dir]; ok {
+		return n
+	}
+	n := &loadNode{
+		id:      "std:" + bp.Dir,
+		path:    bp.ImportPath,
+		dir:     bp.Dir,
+		std:     true,
+		resolve: make(map[string]*loadNode, len(bp.Imports)),
+	}
+	for _, f := range bp.GoFiles {
+		n.files = append(n.files, filepath.Join(bp.Dir, f))
+	}
+	ld.stdByDir[bp.Dir] = n
+	ld.nodes = append(ld.nodes, n)
+	*frontier = append(*frontier, n)
+	// Record the imports now; edges are resolved when the frontier is
+	// drained so recursion depth stays flat.
+	for _, imp := range bp.Imports {
+		n.resolve[imp] = nil // filled by expandStd
+	}
+	return n
+}
+
+// expandStd drains the stdlib BFS frontier, resolving each discovered
+// package's own imports (which may grow the frontier further).
+func (ld *loader) expandStd(frontier *[]*loadNode) {
+	for len(*frontier) > 0 {
+		n := (*frontier)[0]
+		*frontier = (*frontier)[1:]
+		imps := make([]string, 0, len(n.resolve))
+		for imp := range n.resolve {
+			imps = append(imps, imp)
+		}
+		sort.Strings(imps)
+		for _, imp := range imps {
+			if imp == "unsafe" || imp == "C" {
+				continue
+			}
+			n.resolve[imp] = ld.resolveStd(imp, n.dir, frontier)
+		}
+	}
+}
+
+// sortedDeps lists a node's resolved dependencies in import-path order,
+// so the dependency graph (and with it every schedule tie-break) is
+// deterministic.
+func sortedDeps(n *loadNode) []*loadNode {
+	paths := make([]string, 0, len(n.resolve))
+	for p := range n.resolve {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	deps := make([]*loadNode, 0, len(paths))
+	for _, p := range paths {
+		if d := n.resolve[p]; d != nil {
+			deps = append(deps, d)
+		}
+	}
+	return deps
+}
+
+// nodeImporter resolves imports for one node's type check from the
+// pre-resolved map. All referenced packages are complete before the node
+// is scheduled, so this is read-only at check time.
+type nodeImporter struct {
+	ld   *loader
+	node *loadNode
+}
+
+func (im nodeImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dep, ok := im.node.resolve[path]; ok && dep != nil && dep.tpkg != nil {
+		return dep.tpkg, nil
+	}
+	if p, ok := im.ld.fakes[path]; ok {
+		return p, nil
+	}
+	// Unreachable for resolvable imports; keep the checker going.
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	return p, nil
+}
+
+// check type-checks one node. Stdlib packages are parsed here (inside the
+// worker, so parsing parallelizes too) and checked with IgnoreFuncBodies:
+// importers only need their exported API, and skipping every stdlib
+// function body is the single largest saving over the old
+// srcimporter-based loader. Module packages get a full check with
+// complete type info for the analyzers.
+func (ld *loader) check(n *loadNode) {
+	files := n.syntax
+	if n.std {
+		for _, fname := range n.files {
+			f, err := parser.ParseFile(ld.fset, fname, nil, parser.SkipObjectResolution)
+			if err != nil {
+				n.errs = append(n.errs, err)
+				continue
+			}
+			files = append(files, f)
+		}
+	}
+	conf := types.Config{
+		Importer:         nodeImporter{ld: ld, node: n},
+		FakeImportC:      true,
+		IgnoreFuncBodies: n.std,
+		Error:            func(err error) { n.errs = append(n.errs, err) },
+	}
+	if !n.std {
+		n.info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	// Check never returns a useful error beyond what Error collected,
+	// and a partially checked package is still analyzable.
+	tp, _ := conf.Check(n.path, ld.fset, files, n.info) //pqlint:allow droppederr the same error is collected via conf.Error into n.errs
+	if tp == nil {
+		tp = ld.fakeFor(n.path)
+	}
+	n.tpkg = tp
+	n.syntax = files
+}
+
+// run executes the load graph on a worker pool in topological waves:
+// a node becomes ready when its last dependency completes, workers pull
+// ready nodes from a queue, and finishing a node may release its
+// dependents. The queue is buffered to the node count so completions
+// never block.
+func (ld *loader) run(workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for _, n := range ld.nodes {
+		seen := make(map[*loadNode]bool)
+		for _, d := range n.deps {
+			if d == nil || d == n || seen[d] {
+				continue
+			}
+			seen[d] = true
+			n.npending++
+			d.dependents = append(d.dependents, n)
+		}
+	}
+	queue := make(chan *loadNode, len(ld.nodes))
+	ready := 0
+	for _, n := range ld.nodes {
+		if n.npending == 0 {
+			queue <- n
+			ready++
+		}
+	}
+	if ready == 0 && len(ld.nodes) > 0 {
+		return fmt.Errorf("analysis: import cycle: no ready packages among %d", len(ld.nodes))
 	}
 
-	// Discover directories holding non-test Go files.
-	type rawPkg struct {
-		path  string
-		dir   string
-		files []string
+	var mu sync.Mutex
+	done := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range queue {
+				ld.check(n)
+				mu.Lock()
+				done++
+				for _, dep := range n.dependents {
+					dep.npending--
+					if dep.npending == 0 {
+						queue <- dep
+					}
+				}
+				if done == len(ld.nodes) {
+					close(queue)
+				}
+				mu.Unlock()
+			}
+		}()
 	}
-	var raws []rawPkg
-	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+	wg.Wait()
+	if done != len(ld.nodes) {
+		return fmt.Errorf("analysis: import cycle: %d of %d packages checked", done, len(ld.nodes))
+	}
+	return nil
+}
+
+// moduleDir is one module directory's classified source files.
+type moduleDir struct {
+	importPath string
+	dir        string
+	goFiles    []string
+	testFiles  []string // in-package _test.go
+	xtestFiles []string // external package_test _test.go
+}
+
+// discoverModule walks the module tree, classifying each directory's Go
+// files. Test files are classified by their package clause: a package
+// name ending in _test is an external test package.
+func discoverModule(root, modPath string, fset *token.FileSet, tests bool) ([]*moduleDir, map[string][]*ast.File, error) {
+	var dirs []*moduleDir
+	parsed := make(map[string][]*ast.File) // absolute filename is the key's prefix-free id
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -119,177 +359,329 @@ func LoadModule(root string) ([]*Package, error) {
 		if err != nil {
 			return err
 		}
-		var files []string
+		md := &moduleDir{dir: path}
 		for _, e := range ents {
 			n := e.Name()
-			if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			if e.IsDir() || !strings.HasSuffix(n, ".go") {
 				continue
 			}
-			files = append(files, filepath.Join(path, n))
+			isTest := strings.HasSuffix(n, "_test.go")
+			if isTest && !tests {
+				continue
+			}
+			fname := filepath.Join(path, n)
+			f, perr := parser.ParseFile(fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if perr != nil {
+				return fmt.Errorf("analysis: %w", perr)
+			}
+			parsed[fname] = append(parsed[fname], f)
+			switch {
+			case !isTest:
+				md.goFiles = append(md.goFiles, fname)
+			case strings.HasSuffix(f.Name.Name, "_test"):
+				md.xtestFiles = append(md.xtestFiles, fname)
+			default:
+				md.testFiles = append(md.testFiles, fname)
+			}
 		}
-		if len(files) == 0 {
+		if len(md.goFiles)+len(md.testFiles)+len(md.xtestFiles) == 0 {
 			return nil
 		}
 		rel, err := filepath.Rel(root, path)
 		if err != nil {
 			return err
 		}
-		imp := modPath
+		md.importPath = modPath
 		if rel != "." {
-			imp = modPath + "/" + filepath.ToSlash(rel)
+			md.importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		raws = append(raws, rawPkg{path: imp, dir: path, files: files})
+		dirs = append(dirs, md)
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("analysis: walk %s: %w", root, err)
+		return nil, nil, fmt.Errorf("analysis: walk %s: %w", root, err)
 	}
-	sort.Slice(raws, func(i, j int) bool { return raws[i].path < raws[j].path })
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].importPath < dirs[j].importPath })
+	return dirs, parsed, nil
+}
 
-	// Parse everything into one FileSet so positions and the stdlib
-	// importer agree.
-	fset := token.NewFileSet()
-	parsed := make(map[string][]*ast.File, len(raws))
-	imports := make(map[string][]string, len(raws))
-	index := make(map[string]rawPkg, len(raws))
-	for _, rp := range raws {
-		index[rp.path] = rp
-		for _, fname := range rp.files {
-			f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("analysis: %w", err)
+// LoadModule parses and type-checks every package under root (the module
+// root), skipping testdata and hidden directories. With opts.Tests, each
+// package's _test.go files are loaded too: in-package test files form a
+// test variant of the package, and package foo_test files form their own
+// external test package importing the variant. Package type checks run
+// in parallel topological waves on opts.Workers workers; results are
+// bitwise identical at every worker count. Packages come back sorted by
+// import path (plain before test variant before external test package).
+func LoadModule(root string, opts LoadOptions) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	root, err = filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+
+	ld := &loader{
+		fset:     token.NewFileSet(),
+		bctx:     build.Default,
+		stdByDir: make(map[string]*loadNode),
+		fakes:    make(map[string]*types.Package),
+	}
+	// CGO off: stdlib packages type-check from their pure-Go fallback
+	// files instead of needing a C toolchain. Context copy — the global
+	// build.Default is left alone.
+	ld.bctx.CgoEnabled = false
+
+	dirs, parsedByFile, err := discoverModule(root, modPath, ld.fset, opts.Tests)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("analysis: no Go packages under %s", root)
+	}
+
+	fileSyntax := func(fname string) *ast.File { return parsedByFile[fname][0] }
+	isModuleLocal := func(p string) bool {
+		return p == modPath || strings.HasPrefix(p, modPath+"/")
+	}
+
+	// Module nodes: plain package, test variant, external test package.
+	plain := make(map[string]*loadNode)
+	type modNode struct {
+		node *loadNode
+		md   *moduleDir
+		kind int // 0 plain, 1 test variant, 2 external test
+	}
+	var modNodes []modNode
+	addNode := func(md *moduleDir, kind int) *loadNode {
+		n := &loadNode{dir: md.dir, resolve: make(map[string]*loadNode)}
+		var files []string
+		switch kind {
+		case 0:
+			n.id = md.importPath
+			n.path = md.importPath
+			files = md.goFiles
+		case 1:
+			n.id = md.importPath + " [tests]"
+			n.path = md.importPath
+			n.forTest = md.importPath
+			files = append(append([]string{}, md.goFiles...), md.testFiles...)
+		case 2:
+			n.id = md.importPath + "_test [tests]"
+			n.path = md.importPath + "_test"
+			n.forTest = md.importPath
+			files = md.xtestFiles
+		}
+		n.files = files
+		n.testFiles = make(map[string]bool)
+		for _, f := range files {
+			n.syntax = append(n.syntax, fileSyntax(f))
+			if strings.HasSuffix(f, "_test.go") {
+				n.testFiles[f] = true
 			}
-			parsed[rp.path] = append(parsed[rp.path], f)
+		}
+		for _, f := range n.syntax {
+			if f.Name.Name == "main" {
+				n.isCommand = true
+			}
+		}
+		ld.nodes = append(ld.nodes, n)
+		modNodes = append(modNodes, modNode{node: n, md: md, kind: kind})
+		return n
+	}
+	for _, md := range dirs {
+		if len(md.goFiles) > 0 {
+			plain[md.importPath] = addNode(md, 0)
+		}
+		if opts.Tests && len(md.testFiles) > 0 {
+			addNode(md, 1)
+		}
+		if opts.Tests && len(md.xtestFiles) > 0 {
+			addNode(md, 2)
+		}
+	}
+	// External tests of a main package are still command territory.
+	for _, mn := range modNodes {
+		if mn.kind == 2 {
+			if base := plain[mn.md.importPath]; base != nil && base.isCommand {
+				mn.node.isCommand = true
+			}
+		}
+	}
+
+	// Resolve every import: module-local to module nodes, the rest into
+	// the stdlib BFS. All serial; the parallel phase only reads it.
+	var frontier []*loadNode
+	for _, mn := range modNodes {
+		n := mn.node
+		seen := make(map[string]bool)
+		for _, f := range n.syntax {
 			for _, spec := range f.Imports {
 				ip := strings.Trim(spec.Path.Value, `"`)
-				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
-					imports[rp.path] = append(imports[rp.path], ip)
+				if seen[ip] || ip == "unsafe" || ip == "C" {
+					continue
+				}
+				seen[ip] = true
+				if isModuleLocal(ip) {
+					if dep := plain[ip]; dep != nil {
+						n.resolve[ip] = dep
+					} else {
+						n.resolve[ip] = nil // unresolvable: placeholder at check time
+						ld.fakeFor(ip)
+					}
+					continue
+				}
+				dep := ld.resolveStd(ip, n.dir, &frontier)
+				n.resolve[ip] = dep
+				if dep == nil {
+					ld.fakeFor(ip)
+				}
+			}
+		}
+	}
+	ld.expandStd(&frontier)
+	for _, n := range ld.nodes {
+		if n.std {
+			for imp, dep := range n.resolve {
+				if dep == nil && imp != "unsafe" && imp != "C" {
+					ld.fakeFor(imp)
 				}
 			}
 		}
 	}
 
-	// Topologically order by intra-module imports.
-	order, err := topoSort(parsed, imports)
-	if err != nil {
+	// A test variant supersedes its plain package for the external test
+	// package's import (external tests may use in-package test helpers),
+	// and is serialized after the plain package — the two share *ast.File
+	// values, and go/types must not check the same file concurrently.
+	variants := make(map[string]*loadNode)
+	for _, mn := range modNodes {
+		if mn.kind == 1 {
+			variants[mn.md.importPath] = mn.node
+		}
+	}
+	for _, mn := range modNodes {
+		n := mn.node
+		switch mn.kind {
+		case 1:
+			if base := plain[mn.md.importPath]; base != nil {
+				n.deps = append(n.deps, base)
+			}
+		case 2:
+			if v := variants[mn.md.importPath]; v != nil {
+				n.resolve[mn.md.importPath] = v
+			}
+		}
+		n.deps = append(n.deps, sortedDeps(n)...)
+	}
+	for _, n := range ld.nodes {
+		if n.std {
+			n.deps = append(n.deps, sortedDeps(n)...)
+		}
+	}
+
+	if err := ld.run(opts.Workers); err != nil {
 		return nil, err
 	}
 
-	im := &chainImporter{
-		modulePath: modPath,
-		local:      make(map[string]*types.Package),
-		std:        newStdImporter(fset),
-		failed:     make(map[string]*types.Package),
-	}
+	// Package results, sorted by (path, plain < variant < external).
+	sort.SliceStable(modNodes, func(i, j int) bool {
+		a, b := modNodes[i], modNodes[j]
+		if a.md.importPath != b.md.importPath {
+			return a.md.importPath < b.md.importPath
+		}
+		return a.kind < b.kind
+	})
 	var pkgs []*Package
-	for _, path := range order {
-		pkg := checkPackage(fset, path, parsed[path], im)
-		pkg.Dir = index[path].dir
-		im.local[path] = pkg.Types
-		pkgs = append(pkgs, pkg)
+	for _, mn := range modNodes {
+		n := mn.node
+		pkgs = append(pkgs, &Package{
+			Path:        n.path,
+			Dir:         n.dir,
+			ForTest:     n.forTest,
+			TestGoFiles: n.testFiles,
+			IsCommand:   n.isCommand,
+			Fset:        ld.fset,
+			Files:       n.syntax,
+			Types:       n.tpkg,
+			Info:        n.info,
+			TypeErrors:  n.errs,
+		})
 	}
 	return pkgs, nil
 }
 
 // LoadDir parses and type-checks the single package in dir under the
-// given import path, resolving stdlib imports from source. Used by the
-// analyzer test harness on testdata packages.
+// given import path, resolving its imports through the same loader
+// machinery. Used by the analyzer test harness on testdata packages.
 func LoadDir(dir, importPath string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
-	fset := token.NewFileSet()
-	var files []*ast.File
+	ld := &loader{
+		fset:     token.NewFileSet(),
+		bctx:     build.Default,
+		stdByDir: make(map[string]*loadNode),
+		fakes:    make(map[string]*types.Package),
+	}
+	ld.bctx.CgoEnabled = false
+
+	n := &loadNode{id: importPath, path: importPath, dir: dir, resolve: make(map[string]*loadNode)}
 	for _, e := range ents {
-		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		fname := filepath.Join(dir, name)
+		f, err := parser.ParseFile(ld.fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
-		files = append(files, f)
+		n.files = append(n.files, fname)
+		n.syntax = append(n.syntax, f)
+		if f.Name.Name == "main" {
+			n.isCommand = true
+		}
 	}
-	if len(files) == 0 {
+	if len(n.syntax) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	im := &chainImporter{
-		local:  make(map[string]*types.Package),
-		std:    newStdImporter(fset),
-		failed: make(map[string]*types.Package),
-	}
-	pkg := checkPackage(fset, importPath, files, im)
-	pkg.Dir = dir
-	return pkg, nil
-}
-
-func checkPackage(fset *token.FileSet, path string, files []*ast.File, im types.Importer) *Package {
-	pkg := &Package{
-		Path:  path,
-		Fset:  fset,
-		Files: files,
-		Info: &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		},
-	}
-	conf := types.Config{
-		Importer: im,
-		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
-	}
-	// Check never returns a useful error beyond what Error collected,
-	// and a partially checked package is still analyzable.
-	tp, _ := conf.Check(path, fset, files, pkg.Info) //pqlint:allow droppederr the same error is collected via conf.Error into pkg.TypeErrors
-	pkg.Types = tp
-	return pkg
-}
-
-// topoSort orders packages so every intra-module import precedes its
-// importer.
-func topoSort(parsed map[string][]*ast.File, imports map[string][]string) ([]string, error) {
-	paths := make([]string, 0, len(parsed))
-	for p := range parsed {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	const (
-		white = 0
-		grey  = 1
-		black = 2
-	)
-	state := make(map[string]int, len(paths))
-	var order []string
-	var visit func(string) error
-	visit = func(p string) error {
-		switch state[p] {
-		case black:
-			return nil
-		case grey:
-			return fmt.Errorf("analysis: import cycle through %s", p)
-		}
-		state[p] = grey
-		deps := append([]string(nil), imports[p]...)
-		sort.Strings(deps)
-		for _, d := range deps {
-			if _, ok := parsed[d]; !ok {
+	ld.nodes = append(ld.nodes, n)
+	var frontier []*loadNode
+	seen := make(map[string]bool)
+	for _, f := range n.syntax {
+		for _, spec := range f.Imports {
+			ip := strings.Trim(spec.Path.Value, `"`)
+			if seen[ip] || ip == "unsafe" || ip == "C" {
 				continue
 			}
-			if err := visit(d); err != nil {
-				return err
+			seen[ip] = true
+			dep := ld.resolveStd(ip, n.dir, &frontier)
+			n.resolve[ip] = dep
+			if dep == nil {
+				ld.fakeFor(ip)
 			}
 		}
-		state[p] = black
-		order = append(order, p)
-		return nil
 	}
-	for _, p := range paths {
-		if err := visit(p); err != nil {
-			return nil, err
-		}
+	ld.expandStd(&frontier)
+	for _, nd := range ld.nodes {
+		nd.deps = append(nd.deps, sortedDeps(nd)...)
 	}
-	return order, nil
+	if err := ld.run(0); err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:        n.path,
+		Dir:         n.dir,
+		TestGoFiles: map[string]bool{},
+		IsCommand:   n.isCommand,
+		Fset:        ld.fset,
+		Files:       n.syntax,
+		Types:       n.tpkg,
+		Info:        n.info,
+		TypeErrors:  n.errs,
+	}, nil
 }

@@ -1,0 +1,196 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pagequality/internal/analysis"
+)
+
+// writeTestModule lays out a small module exercising every loader shape:
+// a library package, its in-package test variant, an external _test
+// package using an in-package helper, a command, and an inter-package
+// import.
+func writeTestModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module loadertest.example/m\n\ngo 1.22\n",
+		"core/core.go": `package core
+
+// Double is imported by pkg and by the command.
+func Double(x int) int { return 2 * x }
+`,
+		"pkg/pkg.go": `package pkg
+
+import "loadertest.example/m/core"
+
+func Quad(x int) int { return core.Double(core.Double(x)) }
+`,
+		"pkg/pkg_test.go": `package pkg
+
+import "testing"
+
+// helper is an in-package test helper the external package reaches
+// through the test variant.
+func helper() int { return Quad(1) }
+
+func TestQuad(t *testing.T) {
+	if helper() != 4 {
+		t.Fatal("quad")
+	}
+}
+`,
+		"pkg/ext_test.go": `package pkg_test
+
+import (
+	"testing"
+
+	"loadertest.example/m/pkg"
+)
+
+func TestExternal(t *testing.T) {
+	if pkg.Quad(2) != 8 {
+		t.Fatal("quad")
+	}
+}
+`,
+		"cmd/run/main.go": `package main
+
+import (
+	"fmt"
+
+	"loadertest.example/m/core"
+)
+
+func main() { fmt.Println(core.Double(21)) }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadModuleShapes checks the package universe the loader produces:
+// plain packages, test variants, external test packages, command
+// detection, and clean type-checking for all of them.
+func TestLoadModuleShapes(t *testing.T) {
+	root := writeTestModule(t)
+	pkgs, err := analysis.LoadModule(root, analysis.LoadOptions{Tests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type shape struct {
+		path, forTest string
+		isCommand     bool
+		testFiles     int
+	}
+	var got []shape
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", p.Path, p.TypeErrors)
+		}
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("%s: missing type info", p.Path)
+		}
+		got = append(got, shape{p.Path, p.ForTest, p.IsCommand, len(p.TestGoFiles)})
+	}
+	want := []shape{
+		{"loadertest.example/m/cmd/run", "", true, 0},
+		{"loadertest.example/m/core", "", false, 0},
+		{"loadertest.example/m/pkg", "", false, 0},
+		{"loadertest.example/m/pkg", "loadertest.example/m/pkg", false, 1},
+		{"loadertest.example/m/pkg_test", "loadertest.example/m/pkg", false, 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("package universe:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Without Tests, only the three plain packages load.
+	plain, err := analysis.LoadModule(root, analysis.LoadOptions{Tests: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 3 {
+		t.Fatalf("Tests=false loaded %d packages, want 3", len(plain))
+	}
+}
+
+// TestLoadModuleWorkerInvariance pins the tentpole determinism claim: the
+// full diagnostic stream is identical at every worker count, because the
+// schedule only changes wall time.
+func TestLoadModuleWorkerInvariance(t *testing.T) {
+	root := writeTestModule(t)
+	// Make the module dirty so there is a real stream to compare.
+	dirty := `package core
+
+import "math/rand"
+
+func Jitter() float64 { return rand.Float64() }
+`
+	if err := os.WriteFile(filepath.Join(root, "core", "jitter.go"), []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var base []analysis.Diagnostic
+	for i, workers := range []int{1, 2, 8} {
+		pkgs, err := analysis.LoadModule(root, analysis.LoadOptions{Tests: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		diags := analysis.RunAnalyzers(pkgs, analysis.Analyzers())
+		if len(diags) == 0 {
+			t.Fatalf("workers=%d: dirty module produced no diagnostics", workers)
+		}
+		if i == 0 {
+			base = diags
+			continue
+		}
+		if !reflect.DeepEqual(diags, base) {
+			t.Fatalf("workers=%d: diagnostics differ from workers=1:\n got %v\nwant %v",
+				workers, diags, base)
+		}
+	}
+}
+
+// TestTestVariantNoDuplicateFindings checks the variant filter: a finding
+// in a package's plain files is reported once even though the test
+// variant re-checks those files, while findings in _test.go files are
+// reported from the variant.
+func TestTestVariantNoDuplicateFindings(t *testing.T) {
+	root := writeTestModule(t)
+	dirty := `package pkg
+
+func EqHere(a, b float64) bool { return a == b }
+`
+	dirtyTest := `package pkg
+
+func eqInTest(a, b float64) bool { return a != b }
+`
+	if err := os.WriteFile(filepath.Join(root, "pkg", "dirty.go"), []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "pkg", "dirty_test.go"), []byte(dirtyTest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root, analysis.LoadOptions{Tests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, d := range analysis.RunAnalyzers(pkgs, analysis.Analyzers()) {
+		counts[filepath.Base(d.Pos.Filename)]++
+	}
+	want := map[string]int{"dirty.go": 1, "dirty_test.go": 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("findings per file = %v, want %v", counts, want)
+	}
+}

@@ -1,0 +1,32 @@
+package atomicmixcase
+
+import "sync/atomic"
+
+type cleanCounter struct {
+	requests int64
+	errors   int64
+}
+
+// observe accesses requests atomically everywhere it appears.
+func (c *cleanCounter) observe(failed bool) {
+	atomic.AddInt64(&c.requests, 1)
+	if failed {
+		atomic.AddInt64(&c.errors, 1)
+	}
+}
+
+// totals reads both fields atomically too — consistent, so nothing to
+// flag.
+func (c *cleanCounter) totals() (int64, int64) {
+	return atomic.LoadInt64(&c.requests), atomic.LoadInt64(&c.errors)
+}
+
+type plainOnly struct {
+	n int
+}
+
+// bump never touches sync/atomic, so plain access is just plain access.
+func (p *plainOnly) bump() int {
+	p.n++
+	return p.n
+}

@@ -1,0 +1,35 @@
+package atomicmixcase
+
+import "sync/atomic"
+
+type hitCounter struct {
+	hits int64
+}
+
+// record is the atomic side: hits is incremented with sync/atomic.
+func (h *hitCounter) record() {
+	atomic.AddInt64(&h.hits, 1)
+}
+
+// snapshot mixes in a plain read of the same field — a torn read waiting
+// for a 32-bit platform or an aggressive compiler.
+func (h *hitCounter) snapshot() int64 {
+	return h.hits // want atomicmix "hits is accessed with sync/atomic"
+}
+
+// reset mixes in a plain write, racing every concurrent AddInt64.
+func (h *hitCounter) reset() {
+	h.hits = 0 // want atomicmix "hits is accessed with sync/atomic"
+}
+
+var flips uint32
+
+// flip is the package-level-variable form of the same mix.
+func flip() {
+	atomic.StoreUint32(&flips, 1)
+}
+
+// peek reads the same word plainly.
+func peek() uint32 {
+	return flips // want atomicmix "flips is accessed with sync/atomic"
+}

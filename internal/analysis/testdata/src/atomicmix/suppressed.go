@@ -1,0 +1,19 @@
+package atomicmixcase
+
+import "sync/atomic"
+
+type warmCounter struct {
+	warm int64
+}
+
+// serve is the concurrent side: warm is read atomically once goroutines
+// exist.
+func (w *warmCounter) serve() int64 {
+	return atomic.LoadInt64(&w.warm)
+}
+
+// init sets the field plainly before any goroutine starts — the one
+// legitimate mix, documented at the site.
+func (w *warmCounter) initialize(v int64) {
+	w.warm = v //pqlint:allow atomicmix single-threaded constructor runs before any goroutine starts
+}

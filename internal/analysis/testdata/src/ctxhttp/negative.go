@@ -1,0 +1,32 @@
+package ctxhttpcase
+
+import (
+	"context"
+	"net/http"
+)
+
+// fetchWithContext is the disciplined form: the request carries its
+// caller's context and dies with it.
+func fetchWithContext(ctx context.Context, c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+// proxyHandler derives from the request's own context, so downstream work
+// observes the client disconnect.
+func proxyHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_, err := fetchWithContext(ctx, http.DefaultClient, "http://upstream.example/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+// rootContext mints context.Background outside any request scope — at a
+// process entry point there is no request context to derive from.
+func rootContext() context.Context {
+	return context.Background()
+}

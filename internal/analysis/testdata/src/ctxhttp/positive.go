@@ -1,0 +1,53 @@
+package ctxhttpcase
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+// fetchNoContext builds a request that can never be cancelled: one slow
+// origin pins this caller forever.
+func fetchNoContext(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want ctxhttp "http.NewRequest builds an uncancellable request"
+}
+
+// convenience uses the package-level helpers, which hard-code the
+// background context under the hood.
+func convenience(url string) error {
+	resp, err := http.Get(url) // want ctxhttp "http.Get runs with no context"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// clientConvenience is the *http.Client method form of the same thing.
+func clientConvenience(c *http.Client, url string) error {
+	resp, err := c.Head(url) // want ctxhttp "Head runs with no context"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// handler receives a request-scoped context and mints a detached one
+// anyway, losing the client-disconnect signal.
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want ctxhttp "context.Background inside a function that receives"
+	work(ctx, w)
+}
+
+// handlerClosure shows the same detachment one closure deep: the request
+// is still in scope one level up.
+func handlerClosure(w io.Writer, r *http.Request) func() error {
+	return func() error {
+		return work(context.TODO(), w) // want ctxhttp "context.TODO inside a function that receives"
+	}
+}
+
+func work(ctx context.Context, w io.Writer) error {
+	_ = ctx
+	_ = w
+	return nil
+}

@@ -1,0 +1,13 @@
+package ctxhttpcase
+
+import "net/http"
+
+// probe is a deliberate fire-and-forget health probe whose lifetime is
+// bounded by the client's own timeout, documented at the site.
+func probe(c *http.Client, url string) error {
+	resp, err := c.Get(url) //pqlint:allow ctxhttp health probe bounded by the client timeout, not a caller context
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

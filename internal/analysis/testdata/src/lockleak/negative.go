@@ -1,0 +1,62 @@
+package lockleakcase
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+// deferred is the canonical discipline: the deferred unlock covers every
+// path out of the function.
+func (g *gauge) deferred() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// straightLine releases on the only path, with work in between.
+func (g *gauge) straightLine(d int) {
+	g.mu.Lock()
+	g.n += d
+	g.mu.Unlock()
+}
+
+// ladder releases on every branch explicitly — the unlock ladder the
+// serving cache uses to keep critical sections tight.
+func (g *gauge) ladder(limit int) int {
+	g.mu.Lock()
+	if g.n > limit {
+		g.mu.Unlock()
+		return limit
+	}
+	v := g.n
+	g.mu.Unlock()
+	return v
+}
+
+// terminalBranches ends the function inside an if/else whose arms both
+// release and return; there is no fallthrough left to cover.
+func (g *gauge) terminalBranches(limit int) int {
+	g.mu.Lock()
+	if g.n > limit {
+		g.mu.Unlock()
+		return limit
+	} else {
+		v := g.n
+		g.mu.Unlock()
+		return v
+	}
+}
+
+type shardSet struct {
+	mu     sync.RWMutex
+	shards map[string]int
+}
+
+// readPath pairs RLock with a deferred RUnlock.
+func (s *shardSet) readPath(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards[k]
+}

@@ -1,0 +1,43 @@
+package lockleakcase
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// leakOnReturn locks and then returns with the mutex still held: every
+// later caller wedges forever.
+func (c *counter) leakOnReturn() int {
+	c.mu.Lock() // want lockleak "function returns before c.mu.Unlock on this path"
+	return c.n
+}
+
+// leakOnBranch releases on the happy path but a branch escapes first.
+func (c *counter) leakOnBranch(check func() error) error {
+	c.mu.Lock() // want lockleak "a branch between this lock and its c.mu.Unlock returns without unlocking"
+	if err := check(); err != nil {
+		return err
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// leakToBlockEnd never releases at all before the block ends.
+func (c *counter) leakToBlockEnd() {
+	c.mu.Lock() // want lockleak "no matching c.mu.Unlock in the rest of this block"
+	c.n++
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// rlockLeak is the read-lock form: RLock needs RUnlock on every path.
+func (t *table) rlockLeak(k string) int {
+	t.mu.RLock() // want lockleak "function returns before t.mu.RUnlock on this path"
+	return t.m[k]
+}

@@ -1,0 +1,15 @@
+package lockleakcase
+
+import "sync"
+
+type handoff struct {
+	mu sync.Mutex
+	n  int
+}
+
+// acquireForCaller is a genuine lock handoff: the contract is that the
+// caller releases, which the analyzer cannot see across the boundary.
+func (h *handoff) acquireForCaller() *int {
+	h.mu.Lock() //pqlint:allow lockleak lock handoff; Release() on the returned guard unlocks
+	return &h.n
+}

@@ -1,0 +1,37 @@
+package looproutinecase
+
+import "sync"
+
+// pooled is the disciplined form: every launch is tied to the WaitGroup
+// the function drains before returning.
+func pooled(items []string, process func(string)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it string) {
+			defer wg.Done()
+			process(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// drained collects one result per goroutine from a channel, which joins
+// them just as surely as a WaitGroup.
+func drained(items []int, f func(int) int) []int {
+	ch := make(chan int, len(items))
+	for _, it := range items {
+		go func(it int) { ch <- f(it) }(it)
+	}
+	out := make([]int, 0, len(items))
+	for range items {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// single launches one goroutine outside any loop; the rule only binds
+// launches whose count scales with iteration.
+func single(f func()) {
+	go f()
+}

@@ -1,0 +1,27 @@
+package looproutinecase
+
+// fanOut launches one goroutine per item with nothing bounding them: no
+// WaitGroup, no semaphore, no result channel — under load this is an
+// unbounded fork bomb.
+func fanOut(items []string, process func(string)) {
+	for _, it := range items {
+		go process(it) // want looproutine "goroutine launched in a loop with no join"
+	}
+}
+
+// retryLoop is the for-statement form of the same bug.
+func retryLoop(n int, attempt func(int)) {
+	for i := 0; i < n; i++ {
+		go attempt(i) // want looproutine "goroutine launched in a loop with no join"
+	}
+}
+
+// nested launches from a loop inside a closure whose own body has no
+// join; the enclosing function literal is what the rule inspects.
+func nested(items []int, f func(int)) func() {
+	return func() {
+		for _, it := range items {
+			go f(it) // want looproutine "goroutine launched in a loop with no join"
+		}
+	}
+}

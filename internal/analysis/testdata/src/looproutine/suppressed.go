@@ -1,0 +1,9 @@
+package looproutinecase
+
+// fireAndForget intentionally detaches its goroutines: the callback
+// lifecycle is owned by the caller's runtime, documented at the site.
+func fireAndForget(hooks []func()) {
+	for _, h := range hooks {
+		go h() //pqlint:allow looproutine hook goroutines are owned and bounded by the caller's runtime
+	}
+}

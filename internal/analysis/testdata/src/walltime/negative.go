@@ -1,0 +1,28 @@
+package walltimecase
+
+import "time"
+
+// clocked takes its clock by injection: callers control time, tests pin
+// it, and the function stays deterministic.
+type clocked struct {
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// step uses the injected clock — no ambient reads, nothing to flag.
+func (c *clocked) step(d time.Duration) time.Time {
+	c.sleep(d)
+	return c.now()
+}
+
+// construct builds times from explicit parts; time.Date and time.Unix are
+// pure functions of their arguments.
+func construct(sec int64) (time.Time, time.Time) {
+	return time.Date(2005, time.June, 14, 0, 0, 0, 0, time.UTC), time.Unix(sec, 0)
+}
+
+// durations uses duration constants and arithmetic, which never touch the
+// clock.
+func durations(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}

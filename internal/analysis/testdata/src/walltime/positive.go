@@ -1,0 +1,26 @@
+package walltimecase
+
+import "time"
+
+// stamp reads the ambient wall clock, so its output depends on when the
+// run happened — the exact nondeterminism the rule forbids.
+func stamp() time.Time {
+	return time.Now() // want walltime "wall-clock time.Now in deterministic library code"
+}
+
+// throttle sleeps on the real clock, making schedules machine-dependent.
+func throttle(d time.Duration) {
+	time.Sleep(d) // want walltime "wall-clock time.Sleep in deterministic library code"
+}
+
+// elapsed measures with Since, a Now in disguise.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want walltime "wall-clock time.Since in deterministic library code"
+}
+
+// timeouts builds wall-clock timers and tickers.
+func timeouts() {
+	t := time.NewTimer(time.Second) // want walltime "wall-clock time.NewTimer in deterministic library code"
+	t.Stop()
+	<-time.After(time.Millisecond) // want walltime "wall-clock time.After in deterministic library code"
+}

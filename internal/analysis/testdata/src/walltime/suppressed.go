@@ -1,0 +1,10 @@
+package walltimecase
+
+import "time"
+
+// defaultSleep is the production default for an injectable sleep field —
+// a genuine time boundary: the one place the library touches the real
+// clock, overridden to a fake in every test.
+func defaultSleep(d time.Duration) {
+	time.Sleep(d) //pqlint:allow walltime production default for an injected sleeper; tests replace it
+}

@@ -391,7 +391,7 @@ func (c *crawl) robotsForLocked(host string) *robotsRules {
 	e.once.Do(func() {
 		e.rules = fetchRobots(c.cfg.Client, host, c.cfg.RequestTimeout)
 	})
-	c.mu.Lock()
+	c.mu.Lock() //pqlint:allow lockleak re-acquires for the caller; the *Locked contract is enter and leave locked
 	return e.rules
 }
 
@@ -625,11 +625,17 @@ func assemble(pages []page, stats Stats) (*Result, error) {
 
 // FetchSeeds downloads a newline-separated seed list (such as the
 // webserver's /seeds.txt) and resolves each entry against the list's URL.
-func FetchSeeds(client *http.Client, listURL string) ([]string, error) {
+// The request carries ctx, so a caller deadline or cancellation aborts
+// the download.
+func FetchSeeds(ctx context.Context, client *http.Client, listURL string) ([]string, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Get(listURL)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, listURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}

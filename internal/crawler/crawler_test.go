@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -76,7 +77,7 @@ func TestCrawlReconstructsReachableGraph(t *testing.T) {
 	sim := testCorpus(t, 1)
 	ts, g := serve(t, sim)
 
-	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestCrawlReconstructsReachableGraph(t *testing.T) {
 func TestCrawlDeterministicGraph(t *testing.T) {
 	sim := testCorpus(t, 2)
 	ts, _ := serve(t, sim)
-	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestCrawlDeterministicGraph(t *testing.T) {
 func TestCrawlPageCaps(t *testing.T) {
 	sim := testCorpus(t, 3)
 	ts, _ := serve(t, sim)
-	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestCrawlPageCaps(t *testing.T) {
 func TestCrawlHandles404(t *testing.T) {
 	sim := testCorpus(t, 4)
 	ts, _ := serve(t, sim)
-	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,13 +344,13 @@ func TestFetchSeedsErrors(t *testing.T) {
 		}
 	}))
 	defer srv.Close()
-	if _, err := FetchSeeds(srv.Client(), srv.URL+"/missing.txt"); err == nil {
+	if _, err := FetchSeeds(context.Background(), srv.Client(), srv.URL+"/missing.txt"); err == nil {
 		t.Fatal("404 seed list accepted")
 	}
-	if _, err := FetchSeeds(srv.Client(), srv.URL+"/empty.txt"); err == nil {
+	if _, err := FetchSeeds(context.Background(), srv.Client(), srv.URL+"/empty.txt"); err == nil {
 		t.Fatal("empty seed list accepted")
 	}
-	seeds, err := FetchSeeds(srv.Client(), srv.URL+"/ok.txt")
+	seeds, err := FetchSeeds(context.Background(), srv.Client(), srv.URL+"/ok.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestFetchSeedsErrors(t *testing.T) {
 func TestOnFetchAndAssemble(t *testing.T) {
 	sim := testCorpus(t, 5)
 	ts, _ := serve(t, sim)
-	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func TestCrawlUnderFaultsBitwiseParity(t *testing.T) {
 	// Fault-free reference crawl.
 	healthy := httptest.NewServer(srv)
 	defer healthy.Close()
-	seeds, err := FetchSeeds(healthy.Client(), healthy.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), healthy.Client(), healthy.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}

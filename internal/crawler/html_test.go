@@ -72,9 +72,7 @@ func TestExtractLinksMalformed(t *testing.T) {
 	for _, body := range []string{
 		"<", "<a", "<a href=", `<a href="`, "<a href='x", "< >", "<>", "<a href",
 	} {
-		hrefs, canon := ExtractLinks(body)
-		_ = hrefs
-		_ = canon
+		ExtractLinks(body)
 	}
 }
 

@@ -1,8 +1,10 @@
 package crawler
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -45,7 +47,7 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 func TestInterruptAndResume(t *testing.T) {
 	sim := testCorpus(t, 7)
 	ts, _ := serve(t, sim)
-	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,8 +134,13 @@ func TestInterruptAndResume(t *testing.T) {
 	}
 	// The combined archive rebuilds the same graph as the full crawl.
 	all := make([]Document, 0, len(docs))
-	for u, body := range docs {
-		all = append(all, Document{FetchURL: u, Body: body})
+	urls := make([]string, 0, len(docs))
+	for u := range docs {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		all = append(all, Document{FetchURL: u, Body: docs[u]})
 	}
 	rebuilt, err := Assemble(all)
 	if err != nil {
@@ -147,7 +154,7 @@ func TestInterruptAndResume(t *testing.T) {
 func TestResumeRespectsPerSiteCounts(t *testing.T) {
 	sim := testCorpus(t, 8)
 	ts, _ := serve(t, sim)
-	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,7 +45,7 @@ func (r *Retry) fill() error {
 		return fmt.Errorf("%w: negative retry delays", ErrBadConfig)
 	}
 	if r.Sleep == nil {
-		r.Sleep = time.Sleep
+		r.Sleep = time.Sleep //pqlint:allow walltime production default for the injected sleeper; tests inject fakes
 	}
 	return nil
 }

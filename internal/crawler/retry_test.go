@@ -476,8 +476,13 @@ func TestTransientRequeueAcrossCheckpoint(t *testing.T) {
 	// The combined archive rebuilds the healthy crawl's graph (rekeyed to
 	// the healthy server's host for comparison).
 	all := make([]Document, 0, len(docs))
-	for path, body := range docs {
-		all = append(all, Document{FetchURL: hts.URL + path, Body: body})
+	paths := make([]string, 0, len(docs))
+	for path := range docs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		all = append(all, Document{FetchURL: hts.URL + path, Body: docs[path]})
 	}
 	rebuilt, err := Assemble(all)
 	if err != nil {

@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -170,7 +171,7 @@ func TestCrawlRespectsRobots(t *testing.T) {
 	full := func() int {
 		ts := httptest.NewServer(srv)
 		defer ts.Close()
-		seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+		seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func TestCrawlRespectsRobots(t *testing.T) {
 	srv.SetRobots([]string{blockedPath})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
-	seeds, err := FetchSeeds(ts.Client(), ts.URL+"/seeds.txt")
+	seeds, err := FetchSeeds(context.Background(), ts.Client(), ts.URL+"/seeds.txt")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,10 +112,18 @@ type SolverPoint struct {
 // (preferential attachment, `nodes` pages) — the design-choice ablation
 // for the acceleration techniques the paper's related work cites
 // ([11], [12]). Pass nodes <= 0 for the 100k default.
-func AblationPageRankSolver(cfg HeadlineConfig, nodes int) ([]SolverPoint, error) {
+//
+// clock supplies wall time for the Elapsed fields; callers that want
+// timing inject one (commands pass time.Now), and a nil clock leaves
+// every Elapsed zero so the library itself stays deterministic.
+func AblationPageRankSolver(cfg HeadlineConfig, nodes int, clock func() time.Time) ([]SolverPoint, error) {
 	cfg.fill()
 	if nodes <= 0 {
 		nodes = 100_000
+	}
+	now := func() time.Time { return time.Time{} }
+	if clock != nil {
+		now = clock
 	}
 	rng := rand.New(rand.NewSource(cfg.Corpus.Seed))
 	g, err := graph.GeneratePreferentialAttachment(
@@ -127,30 +135,30 @@ func AblationPageRankSolver(cfg HeadlineConfig, nodes int) ([]SolverPoint, error
 	const tol = 1e-10
 
 	var out []SolverPoint
-	start := time.Now()
+	start := now()
 	plain, err := pagerank.Compute(c, pagerank.Options{Tol: tol, MaxIter: 1000, Workers: 1})
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, SolverPoint{Name: "plain", Iterations: plain.Iterations, Elapsed: time.Since(start)})
+	out = append(out, SolverPoint{Name: "plain", Iterations: plain.Iterations, Elapsed: now().Sub(start)})
 
-	start = time.Now()
+	start = now()
 	extra, err := pagerank.Compute(c, pagerank.Options{Tol: tol, MaxIter: 1000, Workers: 1, Extrapolate: true})
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, SolverPoint{
-		Name: "aitken", Iterations: extra.Iterations, Elapsed: time.Since(start),
+		Name: "aitken", Iterations: extra.Iterations, Elapsed: now().Sub(start),
 		MaxDiff: maxDiff(plain.Rank, extra.Rank),
 	})
 
-	start = time.Now()
+	start = now()
 	adaptive, err := pagerank.ComputeAdaptive(c, pagerank.AdaptiveOptions{Tol: tol, MaxIter: 1000})
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, SolverPoint{
-		Name: "adaptive", Iterations: adaptive.Iterations, Elapsed: time.Since(start),
+		Name: "adaptive", Iterations: adaptive.Iterations, Elapsed: now().Sub(start),
 		MaxDiff: maxDiff(plain.Rank, adaptive.Rank),
 	})
 	return out, nil

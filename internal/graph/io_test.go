@@ -17,13 +17,13 @@ func graphsEqual(a, b *Graph) bool {
 		id := NodeID(i)
 		pa, pb := a.Page(id), b.Page(id)
 		// NaN != NaN, compare bit-wise via reflect on non-NaN fields.
-		if pa.URL != pb.URL || pa.Site != pb.Site || pa.Created != pb.Created {
+		if pa.URL != pb.URL || pa.Site != pb.Site || pa.Created != pb.Created { //pqlint:allow floateq round-trip parity check; Created must survive encoding bit-for-bit
 			return false
 		}
-		if (pa.Quality == pa.Quality) != (pb.Quality == pb.Quality) {
+		if (pa.Quality == pa.Quality) != (pb.Quality == pb.Quality) { //pqlint:allow floateq NaN self-comparison distinguishes NaN from numbers in the parity check
 			return false
 		}
-		if pa.Quality == pa.Quality && pa.Quality != pb.Quality {
+		if pa.Quality == pa.Quality && pa.Quality != pb.Quality { //pqlint:allow floateq round-trip parity check; Quality must survive encoding bit-for-bit
 			return false
 		}
 		oa := append([]NodeID(nil), a.OutLinks(id)...)

@@ -254,7 +254,7 @@ func TestFractionalRanksTies(t *testing.T) {
 	r := fractionalRanks([]float64{10, 20, 20, 30})
 	want := []float64{1, 2.5, 2.5, 4}
 	for i := range want {
-		if r[i] != want[i] {
+		if r[i] != want[i] { //pqlint:allow floateq fractional ranks are exact half-integers by construction
 			t.Fatalf("ranks = %v, want %v", r, want)
 		}
 	}

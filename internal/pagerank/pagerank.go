@@ -712,7 +712,7 @@ func newWorkerPool(workers, n int) *workerPool {
 		work:    make(chan chunkTask, nc),
 	}
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func() { //pqlint:allow looproutine fixed-size pool; run() joins via wg.Wait and close() ends the workers
 			for t := range p.work {
 				t.fn(t.chunk, t.lo, t.hi)
 				p.wg.Done()

@@ -341,7 +341,7 @@ func TestComputeDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatalf("workers=%d: %d iterations, want %d", w, res.Iterations, baseline.Iterations)
 		}
 		for i := range res.Rank {
-			if res.Rank[i] != baseline.Rank[i] {
+			if res.Rank[i] != baseline.Rank[i] { //pqlint:allow floateq worker-count bitwise parity is the property under test
 				t.Fatalf("workers=%d: rank[%d] = %g differs from workers=%d value %g",
 					w, i, res.Rank[i], workerSets[0], baseline.Rank[i])
 			}

@@ -176,7 +176,7 @@ func newRangePool(workers, n int) *rangePool {
 		work:    make(chan rangeTask, workers),
 	}
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func() { //pqlint:allow looproutine fixed-size pool; run() joins via wg.Wait and close() ends the workers
 			for t := range p.work {
 				t.fn(t.lo, t.hi)
 				p.wg.Done()

@@ -153,7 +153,10 @@ func TestCrashRecoveryTruncatesTornTail(t *testing.T) {
 	s.Close()
 
 	// Simulate a torn write: chop bytes off the tail of the last segment.
-	segs, _ := listSegments(dir)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	path := filepath.Join(dir, fmt.Sprintf("seg-%06d.dat", segs[len(segs)-1]))
 	st, err := os.Stat(path)
 	if err != nil {
@@ -189,7 +192,10 @@ func TestCorruptMiddleRecordRejected(t *testing.T) {
 	s.Put("a", Meta{}, []byte("aaaa"))
 	s.Put("b", Meta{}, []byte("bbbb"))
 	s.Close()
-	segs, _ := listSegments(dir)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	path := filepath.Join(dir, fmt.Sprintf("seg-%06d.dat", segs[0]))
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -249,7 +249,6 @@ func BenchmarkStreamUint64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sink += s.Uint64()
 	}
-	_ = sink
 }
 
 func BenchmarkPoissonSmallLambda(b *testing.B) {

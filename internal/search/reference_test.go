@@ -174,7 +174,7 @@ func (ix *Index) searchReference(query string, opts Options) ([]Hit, error) {
 		hits = append(hits, h)
 	}
 	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
+		if hits[i].Score != hits[j].Score { //pqlint:allow floateq exact score ties decide the comparator's tie-break branch
 			return hits[i].Score > hits[j].Score
 		}
 		return hits[i].Doc < hits[j].Doc

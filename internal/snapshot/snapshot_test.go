@@ -43,7 +43,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d snapshots", len(got))
 	}
 	for i := range snaps {
-		if got[i].Label != snaps[i].Label || got[i].Time != snaps[i].Time {
+		if got[i].Label != snaps[i].Label || got[i].Time != snaps[i].Time { //pqlint:allow floateq round-trip parity check; Time must survive encoding bit-for-bit
 			t.Fatalf("snapshot %d metadata changed: %+v", i, got[i])
 		}
 		if got[i].Graph.NumNodes() != snaps[i].Graph.NumNodes() ||
@@ -325,7 +325,7 @@ func TestPageRankSeriesParallelDeterministic(t *testing.T) {
 	for slot := 1; slot < 3; slot++ {
 		for k := range results[0] {
 			for i := range results[0][k] {
-				if results[slot][k][i] != results[0][k][i] {
+				if results[slot][k][i] != results[0][k][i] { //pqlint:allow floateq worker-count bitwise parity is the property under test
 					t.Fatalf("worker setting %d: snapshot %d rank[%d] = %g differs from %g",
 						slot, k, i, results[slot][k][i], results[0][k][i])
 				}

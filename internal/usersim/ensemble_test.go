@@ -72,7 +72,7 @@ func TestEnsembleDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := range a.Mean {
-		if a.Mean[j] != b.Mean[j] || a.Std[j] != b.Std[j] {
+		if a.Mean[j] != b.Mean[j] || a.Std[j] != b.Std[j] { //pqlint:allow floateq bitwise reproducibility under fixed seeds is the property under test
 			t.Fatal("ensemble not deterministic under fixed seeds")
 		}
 	}

@@ -254,7 +254,7 @@ func TestTrueQualities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if qs[0] != g.Page(0).Quality || qs[1] != g.Page(3).Quality {
+	if qs[0] != g.Page(0).Quality || qs[1] != g.Page(3).Quality { //pqlint:allow floateq the quality vector must be an exact copy of the page fields
 		t.Fatal("qualities do not match pages")
 	}
 	if _, err := s.TrueQualities([]string{"http://nowhere/"}); err == nil {
@@ -449,7 +449,7 @@ func TestBirthPage(t *testing.T) {
 	if pg.Quality != 0.9 || pg.Site != 3 {
 		t.Fatalf("injected page = %+v", pg)
 	}
-	if pg.Created != s.Time() {
+	if pg.Created != s.Time() { //pqlint:allow floateq Created must equal the simulator clock exactly
 		t.Fatalf("created %g, want current time %g", pg.Created, s.Time())
 	}
 	// Seeded with one liker and one in-link.

@@ -129,7 +129,7 @@ func (f *Faults) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f.cfg.Latency > 0 {
-		t := time.NewTimer(f.cfg.Latency)
+		t := time.NewTimer(f.cfg.Latency) //pqlint:allow walltime injecting real latency is this middleware's purpose; cancellable via r.Context()
 		defer t.Stop()
 		select {
 		case <-t.C:

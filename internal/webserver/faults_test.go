@@ -165,12 +165,12 @@ func TestFaultsTimeoutStallsUntilClientGivesUp(t *testing.T) {
 	ts := httptest.NewServer(f)
 	defer ts.Close()
 	client := &http.Client{Timeout: 50 * time.Millisecond}
-	start := time.Now()
-	_, err = client.Get(ts.URL + "/p/1.html")
+	start := time.Now() //pqlint:allow walltime the property under test is real elapsed time against an injected stall
+	_, err = httpGet(client, ts.URL+"/p/1.html")
 	if err == nil {
 		t.Fatal("stalled request succeeded")
 	}
-	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond { //pqlint:allow walltime real elapsed time is the assertion
 		t.Fatalf("request failed after %v, before the client timeout", elapsed)
 	}
 	if s := f.Stats(); s.Timeouts != 1 {
@@ -185,13 +185,13 @@ func TestFaultsLatencyDelaysResponse(t *testing.T) {
 	}
 	ts := httptest.NewServer(f)
 	defer ts.Close()
-	start := time.Now()
-	resp, err := ts.Client().Get(ts.URL + "/p/1.html")
+	start := time.Now() //pqlint:allow walltime the property under test is real injected latency
+	resp, err := httpGet(ts.Client(), ts.URL+"/p/1.html")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond { //pqlint:allow walltime real elapsed time is the assertion
 		t.Fatalf("response arrived after %v, before the injected latency", elapsed)
 	}
 	if resp.StatusCode != http.StatusOK {

@@ -1,6 +1,7 @@
 package webserver
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -25,7 +26,7 @@ func fixture(t *testing.T) *graph.Graph {
 
 func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
 	t.Helper()
-	resp, err := ts.Client().Get(ts.URL + path)
+	resp, err := httpGet(ts.Client(), ts.URL+path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,4 +152,15 @@ func TestHTMLEscaping(t *testing.T) {
 	if strings.Contains(body, "<b>&") {
 		t.Fatalf("unescaped text:\n%s", body)
 	}
+}
+
+// httpGet issues a GET carrying an explicit context, so test traffic
+// meets the same ctxhttp cancellation discipline as the library it
+// exercises.
+func httpGet(c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
 }
