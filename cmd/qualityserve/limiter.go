@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// limiter is the admission controller in front of the search path: a
+// counting semaphore bounding the number of in-flight searches, with a
+// bounded wait for a slot. Under overload the goroutine-per-connection
+// model otherwise admits every request, and queueing moves into the
+// scheduler where latency grows without bound for everyone; shedding the
+// excess with 503 + Retry-After keeps latency bounded for the requests
+// that are admitted and tells well-behaved clients when to come back.
+//
+// A nil *limiter admits everything — the tests that construct a bare
+// service get the historical unlimited behaviour.
+type limiter struct {
+	sem     chan struct{}
+	maxWait time.Duration
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+}
+
+// newLimiter builds a limiter admitting at most maxInflight concurrent
+// requests, each waiting at most maxWait for a slot before being shed
+// (maxWait 0 sheds immediately on saturation). maxInflight < 1 returns
+// nil: unlimited.
+func newLimiter(maxInflight int, maxWait time.Duration) *limiter {
+	if maxInflight < 1 {
+		return nil
+	}
+	return &limiter{sem: make(chan struct{}, maxInflight), maxWait: maxWait}
+}
+
+// acquire takes one in-flight slot, reporting false — after counting the
+// shed — when none frees up within maxWait or the caller's context ends
+// first. Every true return must be paired with exactly one release.
+func (l *limiter) acquire(ctx context.Context) bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return true
+	default:
+	}
+	if l.maxWait > 0 {
+		t := time.NewTimer(l.maxWait)
+		defer t.Stop()
+		select {
+		case l.sem <- struct{}{}:
+			l.admitted.Add(1)
+			return true
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	l.shed.Add(1)
+	return false
+}
+
+// release returns one in-flight slot.
+func (l *limiter) release() {
+	if l != nil {
+		<-l.sem
+	}
+}
+
+// inflight returns the number of currently admitted requests.
+func (l *limiter) inflight() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.sem)
+}
+
+// limit returns the admission capacity, 0 meaning unlimited.
+func (l *limiter) limit() int {
+	if l == nil {
+		return 0
+	}
+	return cap(l.sem)
+}
+
+// counters returns the lifetime admitted and shed request counts.
+func (l *limiter) counters() (admitted, shed uint64) {
+	if l == nil {
+		return 0, 0
+	}
+	return l.admitted.Load(), l.shed.Load()
+}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pagequality/internal/webcorpus"
+)
+
+// TestLimiterBasics pins the semaphore semantics: capacity admits, excess
+// sheds (fail-fast at maxWait 0), releases free slots, counters track
+// lifetime admitted/shed, and the nil limiter admits everything.
+func TestLimiterBasics(t *testing.T) {
+	l := newLimiter(2, 0)
+	ctx := context.Background()
+	if !l.acquire(ctx) || !l.acquire(ctx) {
+		t.Fatal("capacity slots refused")
+	}
+	if l.inflight() != 2 || l.limit() != 2 {
+		t.Fatalf("inflight=%d limit=%d, want 2/2", l.inflight(), l.limit())
+	}
+	if l.acquire(ctx) {
+		t.Fatal("admitted past capacity")
+	}
+	l.release()
+	if !l.acquire(ctx) {
+		t.Fatal("freed slot refused")
+	}
+	l.release()
+	l.release()
+	if l.inflight() != 0 {
+		t.Fatalf("inflight=%d after full release", l.inflight())
+	}
+	admitted, shed := l.counters()
+	if admitted != 3 || shed != 1 {
+		t.Fatalf("admitted=%d shed=%d, want 3/1", admitted, shed)
+	}
+
+	// maxInflight < 1 disables limiting entirely.
+	var unlimited *limiter = newLimiter(0, 0)
+	if unlimited != nil {
+		t.Fatal("limit 0 built a limiter")
+	}
+	if !unlimited.acquire(ctx) || unlimited.limit() != 0 || unlimited.inflight() != 0 {
+		t.Fatal("nil limiter must admit for free")
+	}
+	unlimited.release()
+}
+
+// TestLimiterBoundedWait: a saturated limiter holds a request for up to
+// maxWait — a release within the window admits it, a cancelled context
+// sheds it immediately.
+func TestLimiterBoundedWait(t *testing.T) {
+	l := newLimiter(1, time.Minute)
+	if !l.acquire(context.Background()) {
+		t.Fatal("first acquire refused")
+	}
+	admittedCh := make(chan bool)
+	go func() { admittedCh <- l.acquire(context.Background()) }()
+	l.release() // frees the slot while the second caller waits
+	if !<-admittedCh {
+		t.Fatal("waiter not admitted after release")
+	}
+
+	// A caller whose context dies while waiting is shed without burning
+	// the full maxWait.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if l.acquire(ctx) {
+		t.Fatal("cancelled waiter admitted on a saturated limiter")
+	}
+	l.release()
+	if l.inflight() != 0 {
+		t.Fatalf("inflight=%d after drain", l.inflight())
+	}
+}
+
+// TestLimiterRace hammers acquire/release from many goroutines (run
+// under -race): the admitted count may never exceed the capacity at any
+// instant, every admission is released exactly once, and afterwards no
+// permit is lost — the limiter drains to zero and still admits.
+func TestLimiterRace(t *testing.T) {
+	const capacity = 4
+	l := newLimiter(capacity, 0)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 32
+	const iters = 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if !l.acquire(context.Background()) {
+					continue
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				l.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("observed %d concurrent admissions, capacity %d", p, capacity)
+	}
+	if l.inflight() != 0 {
+		t.Fatalf("inflight=%d after drain — lost permits", l.inflight())
+	}
+	admitted, shed := l.counters()
+	if admitted+shed != goroutines*iters {
+		t.Fatalf("admitted=%d + shed=%d != %d attempts", admitted, shed, goroutines*iters)
+	}
+	// No permit lost: a full capacity's worth of slots is still available.
+	for i := 0; i < capacity; i++ {
+		if !l.acquire(context.Background()) {
+			t.Fatalf("slot %d unavailable after drain", i)
+		}
+	}
+	defer func() {
+		for i := 0; i < capacity; i++ {
+			l.release()
+		}
+	}()
+	if l.acquire(context.Background()) {
+		t.Fatal("admitted past capacity after drain")
+	}
+}
+
+// TestServiceSheds503 drives admission control through the HTTP surface:
+// with every slot occupied, /search sheds with 503 + Retry-After and the
+// shed counter reaches /stats; with slots free it serves 200s again —
+// saturation is a state, not a ratchet.
+func TestServiceSheds503(t *testing.T) {
+	storePath, archiveDir := buildFixture(t)
+	svc, err := buildServiceCfg(storePath, archiveDir, "", 3, defaultQCfg(),
+		serveConfig{cacheSize: 64, shards: 2, maxInflight: 2, maxWait: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	query := ts.URL + "/search?q=" + webcorpus.SiteTopic(0) + "&k=5"
+
+	// Saturate: occupy both slots as two stuck in-flight requests would.
+	if !svc.lim.acquire(context.Background()) || !svc.lim.acquire(context.Background()) {
+		t.Fatal("could not occupy admission slots")
+	}
+	const burst = 20
+	var wg sync.WaitGroup
+	var got503 atomic.Int64
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := httpGet(ts.Client(), query)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("saturated status = %d, want 503", resp.StatusCode)
+				return
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("503 without Retry-After")
+				return
+			}
+			got503.Add(1)
+		}()
+	}
+	wg.Wait()
+	if got503.Load() != burst {
+		t.Fatalf("%d/%d requests shed", got503.Load(), burst)
+	}
+	if _, shed := svc.lim.counters(); shed != burst {
+		t.Fatalf("shed counter = %d, want %d", shed, burst)
+	}
+
+	// /stats itself is never admission-limited and reports the shedding.
+	resp, err := httpGet(ts.Client(), ts.URL+"/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["shed"] != burst || stats["max_inflight"] != 2 || stats["inflight"] != 2 || stats["shards"] != 2 {
+		t.Fatalf("stats = %v, want shed=%d max_inflight=2 inflight=2 shards=2", stats, burst)
+	}
+
+	// Drain and verify no permit was lost: the service admits again.
+	svc.lim.release()
+	svc.lim.release()
+	resp, err = httpGet(ts.Client(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain status = %d, want 200", resp.StatusCode)
+	}
+	if svc.lim.inflight() != 0 {
+		t.Fatalf("inflight = %d after quiescence — lost permits", svc.lim.inflight())
+	}
+}
+
+// TestRunFlagValidation pins the CLI contract of the new serving flags:
+// zero or negative shard and admission values are rejected before any
+// expensive load begins, mirroring search.Options validation.
+func TestRunFlagValidation(t *testing.T) {
+	listen := func(string, http.Handler) error { return nil }
+	for _, args := range [][]string{
+		{"-archive", "x", "-shards", "0"},
+		{"-archive", "x", "-shards", "-2"},
+		{"-archive", "x", "-shard-workers", "-1"},
+		{"-archive", "x", "-max-inflight", "0"},
+		{"-archive", "x", "-max-inflight", "-5"},
+		{"-archive", "x", "-max-wait", "-1s"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb, listen); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunShardsClamped: a shard count beyond the corpus is clamped to the
+// document count (never an error), matching the search.Options TopK
+// convention, and the banner reports the effective geometry.
+func TestRunShardsClamped(t *testing.T) {
+	storePath, archiveDir := buildFixture(t)
+	var sb strings.Builder
+	listen := func(string, http.Handler) error { return nil }
+	err := run([]string{"-store", storePath, "-archive", archiveDir,
+		"-shards", "1000000", "-max-inflight", "8"}, &sb, listen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "shards") {
+		t.Fatalf("banner missing shard count:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,141 @@
+// Package loadgen is the open-loop workload engine for the serving path:
+// a deterministic zipf query stream (replayable from a seed via randx
+// counter streams), an open-loop arrival schedule at a configurable rate,
+// and a fixed-bucket log-scale latency histogram with a deterministic
+// merge. "Open-loop" is the property that matters for honest load
+// numbers: arrivals are scheduled by the clock, not by completions, so a
+// slow server faces a growing backlog exactly as it would facing real
+// users — closed-loop drivers that wait for each response before sending
+// the next one silently throttle themselves to the server's pace and
+// can never show saturation.
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// histSubBuckets is the number of linear sub-buckets per power-of-two
+// octave: 16 sub-buckets bound the relative quantile error by 1/16
+// (6.25%), plenty for p50/p95/p99 reporting while keeping the whole
+// histogram a fixed 960-slot array.
+const histSubBuckets = 16
+
+// histBuckets spans every non-negative int64 nanosecond value: 16
+// unit-width buckets below 16ns, then 16 sub-buckets for each octave
+// 2^4..2^62.
+const histBuckets = (63 - 3) * histSubBuckets
+
+// Hist is a fixed-bucket log-scale histogram of latencies in
+// nanoseconds. The bucket layout is a pure function of the value — high
+// bits pick the octave, the next four bits the sub-bucket — so two
+// histograms built from the same samples are identical byte for byte,
+// and Merge (bucket-wise addition) is associative, commutative and
+// loss-free: merging per-worker histograms yields exactly the histogram
+// a single recorder would have built. The zero value is an empty
+// histogram ready to use.
+type Hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    int64
+	max    int64
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < histSubBuckets {
+		return int(v)
+	}
+	o := bits.Len64(v) - 1 // v in [2^o, 2^(o+1)), o >= 4
+	return (o-3)*histSubBuckets + int((v>>(o-4))&(histSubBuckets-1))
+}
+
+// bucketUpper returns the largest nanosecond value the bucket holds —
+// the value Quantile reports, so quantiles are conservative (never
+// under-stated) with at most 1/16 relative slack.
+func bucketUpper(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	o := idx/histSubBuckets + 3
+	sub := idx % histSubBuckets
+	return int64(1)<<o + int64(sub+1)<<(o-4) - 1
+}
+
+// Record adds one latency sample.
+func (h *Hist) Record(d time.Duration) {
+	ns := int64(d)
+	h.counts[bucketOf(ns)]++
+	h.n++
+	if ns > 0 {
+		h.sum += ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the largest recorded sample exactly (not bucket-rounded).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the arithmetic mean of the recorded samples.
+func (h *Hist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.n))
+}
+
+// Quantile returns the latency at quantile q in [0,1]: the upper bound
+// of the bucket containing the ceil(q*n)-th smallest sample. q outside
+// [0,1] is clamped; an empty histogram reports 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum >= rank {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other into h bucket by bucket. Merging any partition of a
+// sample stream reproduces the single-recorder histogram exactly.
+func (h *Hist) Merge(other *Hist) {
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String summarises the distribution for human output.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v max=%v",
+		h.n, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}

@@ -1,0 +1,195 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Options configures one open-loop run against a live qualityserve.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8088".
+	BaseURL string
+	// Workload supplies request i's query (required).
+	Workload *Workload
+	// Rate is the offered arrival rate in requests per second (> 0).
+	// Arrivals are scheduled at fixed intervals from the start instant;
+	// they never wait for responses.
+	Rate float64
+	// Requests is the total number of arrivals to schedule (>= 1).
+	Requests int
+	// TopK is the k passed to /search (default 10).
+	TopK int
+	// Rank is the rank= parameter ("" omits it: server default).
+	Rank string
+	// Timeout bounds each request (0: no per-request deadline).
+	Timeout time.Duration
+	// Client issues the requests (default http.DefaultClient).
+	Client *http.Client
+	// Now and Sleep are the injected clock (required): the library never
+	// reads wall time itself, per the walltime determinism lint. cmd/loadgen
+	// wires time.Now and time.Sleep.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+func (o *Options) fill() error {
+	if o.BaseURL == "" {
+		return fmt.Errorf("loadgen: BaseURL required")
+	}
+	if o.Workload == nil {
+		return fmt.Errorf("loadgen: Workload required")
+	}
+	if o.Rate <= 0 {
+		return fmt.Errorf("loadgen: Rate must be > 0, got %g", o.Rate)
+	}
+	if o.Requests < 1 {
+		return fmt.Errorf("loadgen: Requests must be >= 1, got %d", o.Requests)
+	}
+	if o.TopK == 0 {
+		o.TopK = 10
+	}
+	if o.TopK < 1 {
+		return fmt.Errorf("loadgen: TopK must be >= 1, got %d", o.TopK)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("loadgen: negative Timeout %v", o.Timeout)
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Now == nil || o.Sleep == nil {
+		return fmt.Errorf("loadgen: Now and Sleep clocks required")
+	}
+	return nil
+}
+
+// Report is the outcome of one open-loop run. Latency is recorded only
+// for requests the server answered 200 — the population whose p99 the
+// admission controller promises to keep bounded; shed requests (503) and
+// failures are counted separately so saturation is visible, never
+// averaged away.
+type Report struct {
+	Requests int     `json:"requests"`
+	Rate     float64 `json:"offered_rate_rps"`
+
+	OK        uint64 `json:"ok"`
+	Shed      uint64 `json:"shed"`       // HTTP 503: admission control
+	BadStatus uint64 `json:"bad_status"` // any other non-200 status
+	NetErr    uint64 `json:"net_err"`    // transport errors and timeouts
+
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"throughput_rps"` // OK completions per elapsed second
+	ShedRate   float64       `json:"shed_rate"`      // Shed / Requests
+
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+
+	Hist *Hist `json:"-"`
+}
+
+// sample is one completed request's outcome, fed to the collector.
+type sample struct {
+	ns     int64
+	status int
+	err    bool
+}
+
+// Run executes the open-loop schedule: request i departs at
+// start + i/Rate regardless of how many responses are outstanding, each
+// in its own goroutine, and the collector folds completions into the
+// histogram as they land. Cancelling ctx stops scheduling new arrivals
+// (in-flight requests sharing ctx are cancelled with it) and reports
+// what completed.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Rate: opts.Rate, Hist: &Hist{}}
+	samples := make(chan sample, 1024)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for s := range samples {
+			switch {
+			case s.err:
+				rep.NetErr++
+			case s.status == http.StatusOK:
+				rep.OK++
+				rep.Hist.Record(time.Duration(s.ns))
+			case s.status == http.StatusServiceUnavailable:
+				rep.Shed++
+			default:
+				rep.BadStatus++
+			}
+		}
+	}()
+
+	interval := float64(time.Second) / opts.Rate
+	start := opts.Now()
+	var wg sync.WaitGroup
+	sent := 0
+	for i := 0; i < opts.Requests && ctx.Err() == nil; i++ {
+		target := start.Add(time.Duration(float64(i) * interval))
+		if d := target.Sub(opts.Now()); d > 0 {
+			opts.Sleep(d)
+		}
+		sent++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples <- issue(ctx, &opts, uint64(i))
+		}(i)
+	}
+	wg.Wait()
+	close(samples)
+	<-collectorDone
+
+	rep.Requests = sent
+	rep.Elapsed = opts.Now().Sub(start)
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.OK) / secs
+	}
+	if sent > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(sent)
+	}
+	rep.P50 = rep.Hist.Quantile(0.50)
+	rep.P95 = rep.Hist.Quantile(0.95)
+	rep.P99 = rep.Hist.Quantile(0.99)
+	rep.Max = rep.Hist.Max()
+	return rep, ctx.Err()
+}
+
+// issue sends request i and measures the full exchange: from the send
+// until the response body is drained, the latency a real client sees.
+func issue(ctx context.Context, opts *Options, i uint64) sample {
+	u := opts.BaseURL + "/search?q=" + url.QueryEscape(opts.Workload.Query(i)) +
+		"&k=" + strconv.Itoa(opts.TopK)
+	if opts.Rank != "" {
+		u += "&rank=" + url.QueryEscape(opts.Rank)
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return sample{err: true}
+	}
+	t0 := opts.Now()
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return sample{err: true}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{ns: int64(opts.Now().Sub(t0)), status: resp.StatusCode}
+}

@@ -244,23 +244,31 @@ func blendAndSelect(docs []int32, rel []float64, opts Options) []Hit {
 	}
 	top := newTopK(opts.TopK)
 	for _, d := range docs {
-		h := Hit{Doc: int(d), Relevance: rel[d]}
-		relNorm := 0.0
-		if maxRel > 0 {
-			relNorm = rel[d] / maxRel
-		}
-		if opts.Authority != nil {
-			authNorm := 0.0
-			if maxAuth > 0 {
-				authNorm = opts.Authority[d] / maxAuth
-			}
-			h.Score = (1-opts.AuthorityWeight)*relNorm + opts.AuthorityWeight*authNorm
-		} else {
-			h.Score = relNorm
-		}
-		top.offer(h)
+		top.offer(blendHit(int(d), rel[d], maxRel, maxAuth, opts))
 	}
 	return top.ranked()
+}
+
+// blendHit builds the final hit for one document from its relevance and
+// the corpus-global maxima. The unsharded and sharded paths both rank
+// through this single function, so their per-doc floats cannot diverge:
+// the expressions are exactly the historical scorer's.
+func blendHit(doc int, rel, maxRel, maxAuth float64, opts Options) Hit {
+	h := Hit{Doc: doc, Relevance: rel}
+	relNorm := 0.0
+	if maxRel > 0 {
+		relNorm = rel / maxRel
+	}
+	if opts.Authority != nil {
+		authNorm := 0.0
+		if maxAuth > 0 {
+			authNorm = opts.Authority[doc] / maxAuth
+		}
+		h.Score = (1-opts.AuthorityWeight)*relNorm + opts.AuthorityWeight*authNorm
+	} else {
+		h.Score = relNorm
+	}
+	return h
 }
 
 // queryCounts tallies term frequencies of a tokenized query.
