@@ -7,6 +7,7 @@
 // Usage:
 //
 //	extract -archive pages/ -label t1 -store web.pqs [-week 0]
+//	extract -archive pages/ -stats
 package main
 
 import (
@@ -15,7 +16,9 @@ import (
 	"io"
 	"os"
 
+	"pagequality/internal/corpus"
 	"pagequality/internal/crawler"
+	"pagequality/internal/experiments"
 	"pagequality/internal/pagestore"
 	"pagequality/internal/snapshot"
 )
@@ -34,11 +37,12 @@ func run(args []string, out io.Writer) error {
 		label      = fs.String("label", "", "crawl label whose documents to extract (archive key prefix)")
 		store      = fs.String("store", "web.pqs", "snapshot store to append to")
 		week       = fs.Float64("week", -1, "snapshot time in weeks (default: archived fetch time)")
+		stats      = fs.Bool("stats", false, "print per-label archive stats as CSV and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *archiveDir == "" || *label == "" {
+	if *archiveDir == "" || (*label == "" && !*stats) {
 		return fmt.Errorf("-archive and -label are required")
 	}
 	arch, err := pagestore.Open(*archiveDir, pagestore.Options{})
@@ -47,22 +51,44 @@ func run(args []string, out io.Writer) error {
 	}
 	defer arch.Close()
 
-	prefix := *label + "/"
-	keys := arch.KeysWithPrefix(prefix)
-	if len(keys) == 0 {
-		return fmt.Errorf("no documents with prefix %q in %s", prefix, *archiveDir)
-	}
-	docs := make([]crawler.Document, 0, len(keys))
-	fetchedAt := *week
-	for _, k := range keys {
-		meta, body, err := arch.Get(k)
+	if *stats {
+		ls, err := experiments.ArchiveStats(arch, corpus.Options{})
 		if err != nil {
 			return err
 		}
-		if fetchedAt < 0 {
-			fetchedAt = meta.FetchedAt
+		return experiments.WriteArchiveStatsCSV(out, ls)
+	}
+
+	// One corpus pass projects every archived document under the label.
+	// Extract returns key-sorted results, matching the KeysWithPrefix
+	// iteration order this command used before the corpus engine.
+	prefix := *label + "/"
+	type archived struct {
+		doc  crawler.Document
+		week float64
+	}
+	recs, err := corpus.Extract(arch, func(d corpus.Doc) (archived, bool) {
+		if len(d.Key) < len(prefix) || d.Key[:len(prefix)] != prefix {
+			return archived{}, false
 		}
-		docs = append(docs, crawler.Document{FetchURL: k[len(prefix):], Body: body})
+		return archived{
+			doc:  crawler.Document{FetchURL: d.Key[len(prefix):], Body: d.Body},
+			week: d.Meta.FetchedAt,
+		}, true
+	}, corpus.Options{})
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no documents with prefix %q in %s", prefix, *archiveDir)
+	}
+	docs := make([]crawler.Document, len(recs))
+	fetchedAt := *week
+	for i, r := range recs {
+		if fetchedAt < 0 {
+			fetchedAt = r.week
+		}
+		docs[i] = r.doc
 	}
 	res, err := crawler.Assemble(docs)
 	if err != nil {

@@ -88,6 +88,24 @@ func TestExtractRebuildsCrawl(t *testing.T) {
 	}
 }
 
+func TestExtractStats(t *testing.T) {
+	archiveDir, _ := crawlIntoArchive(t, "t1")
+	var buf bytes.Buffer
+	if err := run([]string{"-archive", archiveDir, "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("stats csv:\n%s", buf.String())
+	}
+	if lines[0] != "label,docs,bytes,mean_bytes,first_week,last_week" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "t1,") {
+		t.Fatalf("row: %s", lines[1])
+	}
+}
+
 func TestExtractErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{}, &buf); err == nil {

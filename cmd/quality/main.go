@@ -7,6 +7,12 @@
 // Usage:
 //
 //	quality -in web.pqs [-snaps 3] [-c 1.0] [-maxtrend 0.3] [-top 20]
+//	quality -archive pages/ [-labels t1,t2,t3] [...]
+//
+// With -archive, snapshots are re-extracted straight from a crawl
+// archive (one corpus pass per label) instead of a snapshot store; the
+// estimate and the report are identical to extracting each label with
+// cmd/extract and running the -in route on the result.
 package main
 
 import (
@@ -15,9 +21,12 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
+	"pagequality/internal/corpus"
 	"pagequality/internal/metrics"
 	"pagequality/internal/pagerank"
+	"pagequality/internal/pagestore"
 	"pagequality/internal/quality"
 	"pagequality/internal/snapshot"
 )
@@ -33,6 +42,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("quality", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "web.pqs", "snapshot store path")
+		archive  = fs.String("archive", "", "crawl archive directory (replaces -in: snapshots re-extracted per label)")
+		labels   = fs.String("labels", "", "comma-separated archive labels, in time order (default: all, time-sorted)")
 		snapsN   = fs.Int("snaps", 3, "number of leading snapshots used for estimation")
 		c        = fs.Float64("c", 1.0, "estimator constant C")
 		maxTrend = fs.Float64("maxtrend", 0.3, "trend cap (0 disables)")
@@ -42,9 +53,27 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	snaps, err := snapshot.ReadFile(*in)
-	if err != nil {
-		return err
+	var snaps []snapshot.Snapshot
+	if *archive != "" {
+		arch, err := pagestore.Open(*archive, pagestore.Options{})
+		if err != nil {
+			return err
+		}
+		defer arch.Close()
+		want := strings.Split(*labels, ",")
+		if *labels == "" {
+			if want, err = quality.ArchiveLabels(arch, corpus.Options{}); err != nil {
+				return err
+			}
+		}
+		if snaps, err = quality.SnapshotsFromArchive(arch, want, corpus.Options{}); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if snaps, err = snapshot.ReadFile(*in); err != nil {
+			return err
+		}
 	}
 	if len(snaps) < 2 {
 		return fmt.Errorf("store has %d snapshots; need at least 2", len(snaps))

@@ -45,12 +45,14 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pagequality/internal/crawler"
 	"pagequality/internal/pagerank"
+	"pagequality/internal/corpus"
 	"pagequality/internal/pagestore"
 	"pagequality/internal/quality"
 	"pagequality/internal/search"
@@ -267,10 +269,6 @@ func (s *service) loadGeneration(id uint64) (*generation, error) {
 		return nil, err
 	}
 	defer arch.Close()
-	keys := arch.KeysWithPrefix(label + "/")
-	if len(keys) == 0 {
-		return nil, fmt.Errorf("qualityserve: no documents with label %q in %s", label, s.archiveDir)
-	}
 
 	// Map canonical URL -> aligned index for score lookup.
 	byURL := make(map[string]int, len(al.URLs))
@@ -278,21 +276,42 @@ func (s *service) loadGeneration(id uint64) (*generation, error) {
 		byURL[u] = i
 	}
 
-	g := &generation{id: id, ix: search.NewIndex()}
-	for _, k := range keys {
-		_, body, err := arch.Get(k)
-		if err != nil {
-			return nil, err
+	// One corpus pass projects every indexable document under the label:
+	// link extraction and the common-page filter run in the parallel map
+	// phase; Extract returns key order, so the sequential index build
+	// below sees the same documents in the same order the old
+	// KeysWithPrefix+Get walk produced.
+	prefix := label + "/"
+	type indexable struct {
+		canonical string
+		body      string
+		ai        int
+	}
+	docs, err := corpus.Extract(arch, func(d corpus.Doc) (indexable, bool) {
+		if !strings.HasPrefix(d.Key, prefix) {
+			return indexable{}, false
 		}
-		_, canonical := crawler.ExtractLinks(string(body))
+		_, canonical := crawler.ExtractLinks(string(d.Body))
 		if canonical == "" {
-			canonical = k[len(label)+1:]
+			canonical = d.Key[len(prefix):]
 		}
 		ai, ok := byURL[canonical]
 		if !ok {
-			continue // page not common to every crawl: no quality estimate
+			return indexable{}, false // page not common to every crawl: no quality estimate
 		}
-		doc := g.ix.Add(string(body))
+		return indexable{canonical: canonical, body: string(d.Body), ai: ai}, true
+	}, corpus.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 && len(arch.KeysWithPrefix(prefix)) == 0 {
+		return nil, fmt.Errorf("qualityserve: no documents with label %q in %s", label, s.archiveDir)
+	}
+
+	g := &generation{id: id, ix: search.NewIndex()}
+	for _, d := range docs {
+		canonical, ai := d.canonical, d.ai
+		doc := g.ix.Add(d.body)
 		if doc != len(g.urls) {
 			return nil, fmt.Errorf("qualityserve: document id drift")
 		}

@@ -1,0 +1,214 @@
+package corpus
+
+import (
+	"sort"
+
+	"pagequality/internal/pagestore"
+)
+
+// The verb layer: four structured queries built on Map. All of them
+// return key-sorted (or total-order-scored) results, so their output is
+// a pure function of the live document set — independent of worker
+// count and of the physical segment layout.
+
+// keyed carries a per-document projection with the key that orders it.
+type keyed[R any] struct {
+	key string
+	val R
+}
+
+// project runs proj over every live document and returns the kept
+// (key, value) pairs sorted by key. Live keys are unique, so the sort
+// is a total order.
+func project[R any](st *pagestore.Store, proj func(Doc) (R, bool), opts Options) ([]keyed[R], error) {
+	parts, err := Map(st, func(_ int, docs []Doc) ([]keyed[R], error) {
+		var out []keyed[R]
+		for _, d := range docs {
+			if v, ok := proj(d); ok {
+				out = append(out, keyed[R]{key: d.Key, val: v})
+			}
+		}
+		return out, nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	all := make([]keyed[R], 0, n)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].key < all[b].key })
+	return all, nil
+}
+
+// Extract projects a field set out of every live document: proj returns
+// the projection and whether to keep it. Results are in key order.
+func Extract[R any](st *pagestore.Store, proj func(Doc) (R, bool), opts Options) ([]R, error) {
+	pairs, err := project(st, proj, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]R, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.val
+	}
+	return out, nil
+}
+
+// Query returns the keys of the live documents matching pred, sorted.
+func Query(st *pagestore.Store, pred func(Doc) bool, opts Options) ([]string, error) {
+	pairs, err := project(st, func(d Doc) (struct{}, bool) { return struct{}{}, pred(d) }, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.key
+	}
+	return out, nil
+}
+
+// scoreChunk is the fixed accumulation chunk for Scores.Total: values
+// are summed per 1024-key chunk in key order and the chunk partials are
+// folded serially, the same fused-chunk discipline the PageRank and tick
+// kernels use. Chunk boundaries depend only on the key count, so Total
+// is bit-reproducible for a given live set no matter how the map phase
+// was scheduled or how the records are laid out on disk.
+const scoreChunk = 1024
+
+// Scores is the result of a Score pass: one float per live document
+// (kept docs only), key-ordered, plus their deterministic total.
+type Scores struct {
+	Keys   []string
+	Values []float64
+	Total  float64
+}
+
+// Score computes score for every live document. Documents for which
+// keep is false are skipped (pass nil to keep all).
+func Score(st *pagestore.Store, score func(Doc) float64, keep func(Doc) bool, opts Options) (*Scores, error) {
+	pairs, err := project(st, func(d Doc) (float64, bool) {
+		if keep != nil && !keep(d) {
+			return 0, false
+		}
+		return score(d), true
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scores{
+		Keys:   make([]string, len(pairs)),
+		Values: make([]float64, len(pairs)),
+	}
+	for i, p := range pairs {
+		sc.Keys[i] = p.key
+		sc.Values[i] = p.val
+	}
+	for lo := 0; lo < len(sc.Values); lo += scoreChunk {
+		hi := lo + scoreChunk
+		if hi > len(sc.Values) {
+			hi = len(sc.Values)
+		}
+		part := 0.0
+		for _, v := range sc.Values[lo:hi] {
+			part += v
+		}
+		sc.Total += part
+	}
+	return sc, nil
+}
+
+// Scored is one TopN result.
+type Scored struct {
+	Key   string
+	Score float64
+}
+
+// ranksAfter reports whether a ranks strictly after b: lower score, or
+// equal score and lexicographically later key. Keys are unique, so this
+// is a total order; two strict comparisons express the exact tie-break
+// without a float equality test.
+func ranksAfter(a, b Scored) bool {
+	if a.Score < b.Score {
+		return true
+	}
+	if b.Score < a.Score {
+		return false
+	}
+	return a.Key > b.Key
+}
+
+// topHeap is a bounded min-heap under ranksAfter: the root is the worst
+// retained candidate, so a full heap rejects losers with one comparison.
+type topHeap struct {
+	n    int
+	hits []Scored
+}
+
+func (t *topHeap) offer(h Scored) {
+	if len(t.hits) < t.n {
+		t.hits = append(t.hits, h)
+		i := len(t.hits) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !ranksAfter(t.hits[i], t.hits[p]) {
+				break
+			}
+			t.hits[i], t.hits[p] = t.hits[p], t.hits[i]
+			i = p
+		}
+		return
+	}
+	if !ranksAfter(t.hits[0], h) {
+		return
+	}
+	t.hits[0] = h
+	i, n := 0, len(t.hits)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && ranksAfter(t.hits[l], t.hits[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && ranksAfter(t.hits[r], t.hits[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.hits[i], t.hits[worst] = t.hits[worst], t.hits[i]
+		i = worst
+	}
+}
+
+// TopN returns the n best-scoring live documents — score descending,
+// ties broken by key ascending. Each segment keeps a bounded heap of n
+// candidates; the per-segment winners are merged under the same total
+// order, so the result equals scoring every document and truncating.
+func TopN(st *pagestore.Store, n int, score func(Doc) float64, opts Options) ([]Scored, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	parts, err := Map(st, func(_ int, docs []Doc) ([]Scored, error) {
+		h := &topHeap{n: n}
+		for _, d := range docs {
+			h.offer(Scored{Key: d.Key, Score: score(d)})
+		}
+		return h.hits, nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	var all []Scored
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(a, b int) bool { return ranksAfter(all[b], all[a]) })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}

@@ -6,10 +6,17 @@
 //
 //   - append-only segment files with per-record CRC32, so a crash mid-write
 //     loses at most the torn tail record (recovered and truncated on open);
-//   - an in-memory key index rebuilt by scanning segments on open
-//     (latest version of a key wins, enabling re-crawls of the same URL);
+//   - an in-memory key index rebuilt on open (latest version of a key
+//     wins, enabling re-crawls of the same URL);
+//   - self-indexing sealed segments: rotation and compaction append a
+//     checksummed footer (key→offset fence pointers, a bloom filter,
+//     record count and data length) so Open indexes sealed segments in
+//     O(index) without reading record bodies — only the unsealed active
+//     tail is scanned. A missing, truncated or corrupt footer falls back
+//     to the full record scan and yields an identical index;
 //   - flate compression of bodies;
-//   - compaction that rewrites only live records and drops superseded
+//   - compaction that streams live records segment by segment (peak
+//     memory one source segment, not the store) and drops superseded
 //     versions.
 //
 // Keys are arbitrary strings; the crawl pipeline uses
@@ -46,14 +53,30 @@ type Meta struct {
 // Store is a page repository rooted at a directory. It is safe for
 // concurrent use.
 type Store struct {
-	mu     sync.Mutex
-	dir    string
-	active *os.File // current segment, opened for append
-	actID  int      // numeric id of the active segment
-	actLen int64    // current size of the active segment
-	maxSeg int64    // rotation threshold
-	index  map[string]location
-	closed bool
+	mu         sync.Mutex
+	dir        string
+	active     *os.File // current segment, opened for append
+	actID      int      // numeric id of the active segment
+	actLen     int64    // current size of the active segment
+	actEntries map[string]int64 // latest offset per key in the active segment (footer material)
+	maxSeg     int64    // rotation threshold
+	index      map[string]location
+	blooms     map[int]segBloom // per sealed segment, from its footer
+	closed     bool
+
+	// openStats records how the index was rebuilt; tests use it to pin
+	// the O(index) cold-start contract.
+	openStats struct {
+		footerSegments int // indexed from a valid footer, no record reads
+		scannedSegments int // indexed by replaying records
+	}
+}
+
+// segBloom is a sealed segment's bloom filter, kept in memory for
+// cross-segment membership prefilters (e.g. the multi-store merge).
+type segBloom struct {
+	bits []byte
+	k    int
 }
 
 // location points at one record.
@@ -89,8 +112,11 @@ const (
 )
 
 // Open opens (or creates) a repository in dir, rebuilding the key index
-// by scanning every segment. A torn tail record in the newest segment is
-// truncated away; corruption anywhere else is reported as an error.
+// from segment footers where present and by scanning records otherwise.
+// A torn tail record (or interrupted footer) in the newest segment is
+// truncated away; corruption anywhere else is reported as an error. If
+// the newest segment is sealed, appends go to a fresh segment — sealed
+// segments are immutable.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.MaxSegmentBytes == 0 {
 		opts.MaxSegmentBytes = defaultMaxSeg
@@ -102,21 +128,29 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("pagestore: mkdir: %w", err)
 	}
 	s := &Store{
-		dir:    dir,
-		maxSeg: opts.MaxSegmentBytes,
-		index:  make(map[string]location),
+		dir:        dir,
+		maxSeg:     opts.MaxSegmentBytes,
+		index:      make(map[string]location),
+		actEntries: make(map[string]int64),
+		blooms:     make(map[int]segBloom),
 	}
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.rebuildIndex(segs, opts.ScanWorkers); err != nil {
+	lastSealed, err := s.rebuildIndex(segs, opts.ScanWorkers)
+	if err != nil {
 		return nil, err
 	}
-	// Open (or create) the active segment: the last existing one, or #1.
+	// Open (or create) the active segment: the last existing one if it is
+	// still appendable, otherwise a fresh one after the sealed tail.
 	s.actID = 1
 	if len(segs) > 0 {
 		s.actID = segs[len(segs)-1]
+		if lastSealed {
+			s.actID++
+			s.actEntries = make(map[string]int64)
+		}
 	}
 	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -185,29 +219,39 @@ func appendRecord(buf []byte, key string, meta Meta, compressed []byte) []byte {
 	return buf
 }
 
-// segEntry is one record discovered while scanning a segment.
+// segEntry is one record discovered while indexing a segment.
 type segEntry struct {
 	key string
 	off int64
 }
 
-// rebuildIndex scans the segments (fanning the per-file scans out over
+// segLoad is the result of indexing one segment on Open.
+type segLoad struct {
+	entries []segEntry // replay order (scan) or key order (footer)
+	sealed  bool       // indexed from a valid footer
+	bloom   segBloom   // only when sealed
+}
+
+// rebuildIndex indexes the segments (fanning the per-file loads out over
 // workers) and merges the discovered records into the key index in
 // segment order, so the latest version of a key wins exactly as a
-// sequential replay would decide. Errors are reported for the earliest
-// failing segment regardless of which worker hit it first.
-func (s *Store) rebuildIndex(segs []int, workers int) error {
+// sequential replay would decide. Sealed segments are read from their
+// footers without touching record bodies; unsealed (or corrupt-footer)
+// segments fall back to a record scan. Errors are reported for the
+// earliest failing segment regardless of which worker hit it first.
+// Returns whether the newest segment is sealed.
+func (s *Store) rebuildIndex(segs []int, workers int) (lastSealed bool, err error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(segs) {
 		workers = len(segs)
 	}
-	ents := make([][]segEntry, len(segs))
+	loads := make([]segLoad, len(segs))
 	errs := make([]error, len(segs))
 	if workers <= 1 {
 		for i, id := range segs {
-			ents[i], errs[i] = s.scanSegmentFile(id, i == len(segs)-1)
+			loads[i], errs[i] = s.loadSegmentIndex(id, i == len(segs)-1)
 		}
 	} else {
 		var cursor atomic.Int64
@@ -221,7 +265,7 @@ func (s *Store) rebuildIndex(segs []int, workers int) error {
 					if i >= len(segs) {
 						return
 					}
-					ents[i], errs[i] = s.scanSegmentFile(segs[i], i == len(segs)-1)
+					loads[i], errs[i] = s.loadSegmentIndex(segs[i], i == len(segs)-1)
 				}
 			}()
 		}
@@ -229,19 +273,73 @@ func (s *Store) rebuildIndex(segs []int, workers int) error {
 	}
 	for i, id := range segs {
 		if errs[i] != nil {
-			return errs[i]
+			return false, errs[i]
 		}
-		for _, e := range ents[i] {
+		for _, e := range loads[i].entries {
 			s.index[e.key] = location{seg: id, offset: e.off}
 		}
+		if loads[i].sealed {
+			s.blooms[id] = loads[i].bloom
+			s.openStats.footerSegments++
+		} else {
+			s.openStats.scannedSegments++
+		}
 	}
-	return nil
+	if n := len(segs); n > 0 {
+		lastSealed = loads[n-1].sealed
+		if !lastSealed {
+			// The newest segment stays active: seed its footer material
+			// so a later rotation can seal it.
+			for _, e := range loads[n-1].entries {
+				s.actEntries[e.key] = e.off
+			}
+		}
+	}
+	return lastSealed, nil
+}
+
+// loadSegmentIndex indexes one segment: footer fast path when the seal
+// validates, record scan otherwise.
+func (s *Store) loadSegmentIndex(id int, last bool) (segLoad, error) {
+	path := s.segPath(id)
+	f, err := os.Open(path)
+	if err != nil {
+		return segLoad{}, fmt.Errorf("pagestore: open segment %d: %w", id, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return segLoad{}, fmt.Errorf("pagestore: stat segment %d: %w", id, err)
+	}
+	ft, evidence, err := readFooter(f, st.Size())
+	f.Close()
+	if err != nil {
+		return segLoad{}, err
+	}
+	if ft != nil {
+		return segLoad{entries: ft.entries, sealed: true, bloom: segBloom{bits: ft.bloom, k: ft.bloomK}}, nil
+	}
+	ents, err := s.scanSegmentFile(id, last, evidence)
+	if err != nil {
+		return segLoad{}, err
+	}
+	return segLoad{entries: ents}, nil
 }
 
 // scanSegmentFile replays one segment, returning its records in file
-// order. For the newest segment (last == true) a torn tail record is
-// truncated away instead of failing.
-func (s *Store) scanSegmentFile(id int, last bool) ([]segEntry, error) {
+// order — the fallback when no valid footer exists. Recovery rules at a
+// parse failure, in order:
+//
+//   - the failing byte is footMagic: a footer starts here (its checksum
+//     or trailer failed validation, or an earlier corruption made us
+//     scan a healthy sealed segment); index what was scanned. For the
+//     newest segment the debris is truncated so appends can resume.
+//   - footerEvidence (a footer trailer exists at EOF but failed
+//     validation): the unparseable tail is seal debris, same handling.
+//   - newest segment, clean end-of-buffer overrun: a torn tail write;
+//     truncate it away.
+//   - anything else is corruption and fails the open.
+func (s *Store) scanSegmentFile(id int, last, footerEvidence bool) ([]segEntry, error) {
 	path := s.segPath(id)
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -250,8 +348,24 @@ func (s *Store) scanSegmentFile(id int, last bool) ([]segEntry, error) {
 	var ents []segEntry
 	off := int64(0)
 	for off < int64(len(data)) {
+		if data[off] == footMagic {
+			if last {
+				if terr := os.Truncate(path, off); terr != nil {
+					return nil, fmt.Errorf("pagestore: truncate footer debris: %w", terr)
+				}
+			}
+			return ents, nil
+		}
 		recLen, key, err := verifyRecordAt(data, off)
 		if err != nil {
+			if footerEvidence {
+				if last {
+					if terr := os.Truncate(path, off); terr != nil {
+						return nil, fmt.Errorf("pagestore: truncate footer debris: %w", terr)
+					}
+				}
+				return ents, nil
+			}
 			if last && errors.Is(err, io.ErrUnexpectedEOF) {
 				// crash recovery: drop the torn tail
 				if terr := os.Truncate(path, off); terr != nil {
@@ -357,16 +471,24 @@ func (s *Store) Put(key string, meta Meta, body []byte) error {
 	}
 	s.actLen += int64(len(rec))
 	s.index[key] = location{seg: s.actID, offset: offset}
+	s.actEntries[key] = offset
 	return nil
 }
 
+// rotateLocked seals the active segment — appends its footer so future
+// Opens index it without a scan — and starts a fresh one.
 func (s *Store) rotateLocked() error {
 	if err := s.active.Sync(); err != nil {
 		return fmt.Errorf("pagestore: sync before rotate: %w", err)
 	}
+	bloom, err := sealFile(s.active, s.actEntries, s.actLen)
+	if err != nil {
+		return err
+	}
 	if err := s.active.Close(); err != nil {
 		return fmt.Errorf("pagestore: close before rotate: %w", err)
 	}
+	s.blooms[s.actID] = bloom
 	s.actID++
 	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
 	if err != nil {
@@ -374,6 +496,7 @@ func (s *Store) rotateLocked() error {
 	}
 	s.active = f
 	s.actLen = 0
+	s.actEntries = make(map[string]int64)
 	return nil
 }
 
@@ -397,13 +520,19 @@ func (s *Store) readAt(loc location) (Meta, []byte, error) {
 	if err != nil {
 		return Meta{}, nil, fmt.Errorf("pagestore: read segment: %w", err)
 	}
-	if loc.offset >= int64(len(data)) {
+	return decodeRecordAt(data, loc.offset)
+}
+
+// decodeRecordAt verifies the record at data[off] and returns its
+// metadata and decompressed body.
+func decodeRecordAt(data []byte, off int64) (Meta, []byte, error) {
+	if off >= int64(len(data)) {
 		return Meta{}, nil, fmt.Errorf("%w: offset beyond segment", ErrCorrupt)
 	}
-	if _, _, err := verifyRecordAt(data, loc.offset); err != nil {
+	if _, _, err := verifyRecordAt(data, off); err != nil {
 		return Meta{}, nil, err
 	}
-	r := bytes.NewReader(data[loc.offset:])
+	r := bytes.NewReader(data[off:])
 	if _, err := r.ReadByte(); err != nil { // skip magic, already verified
 		return Meta{}, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -448,6 +577,86 @@ func readRecord0(r *bytes.Reader) (string, Meta, []byte, error) {
 		return "", meta, nil, io.ErrUnexpectedEOF
 	}
 	return string(kb), meta, compressed, nil
+}
+
+// Record is one live document streamed out of the store — the unit the
+// corpus engine's per-segment mappers consume.
+type Record struct {
+	Key  string
+	Meta Meta
+	Body []byte
+}
+
+// SegmentIDs returns the distinct segments currently holding at least
+// one live record, ascending. Together with ReadLive it partitions the
+// live record set: every live record is homed in exactly one segment.
+func (s *Store) SegmentIDs() []int {
+	s.mu.Lock()
+	seen := make(map[int]struct{})
+	for _, loc := range s.index {
+		seen[loc.seg] = struct{}{}
+	}
+	s.mu.Unlock()
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ReadLive returns the live records homed in segment seg in record
+// (offset) order, bodies decompressed. It reads the segment file once;
+// peak memory is the segment plus its decompressed live bodies. The
+// live set is snapshotted at call time: a concurrent Compact may remove
+// the segment underneath the read, which reports an error rather than
+// partial data.
+func (s *Store) ReadLive(seg int) ([]Record, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var ents []segEntry
+	for k, loc := range s.index {
+		if loc.seg == seg {
+			ents = append(ents, segEntry{key: k, off: loc.offset})
+		}
+	}
+	s.mu.Unlock()
+	if len(ents) == 0 {
+		return nil, nil
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].off < ents[b].off })
+	data, err := os.ReadFile(s.segPath(seg))
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: read segment %d: %w", seg, err)
+	}
+	recs := make([]Record, 0, len(ents))
+	for _, e := range ents {
+		meta, body, err := decodeRecordAt(data, e.off)
+		if err != nil {
+			return nil, fmt.Errorf("pagestore: segment %d offset %d: %w", seg, e.off, err)
+		}
+		recs = append(recs, Record{Key: e.key, Meta: meta, Body: body})
+	}
+	return recs, nil
+}
+
+// MayContain reports whether segment seg can hold a record for key,
+// consulting the sealed segment's bloom filter. False positives are
+// possible (~1% at the footer's sizing); false negatives are not.
+// Unsealed segments (and segments without an in-memory filter) answer
+// true. This is the cross-store prefilter for merge workloads: a key
+// lookup can skip every sealed segment whose filter excludes it.
+func (s *Store) MayContain(seg int, key string) bool {
+	s.mu.Lock()
+	b, ok := s.blooms[seg]
+	s.mu.Unlock()
+	if !ok {
+		return true
+	}
+	return bloomMayContain(b.bits, b.k, key)
 }
 
 // Has reports whether key is stored.
@@ -516,82 +725,147 @@ func (s *Store) Close() error {
 }
 
 // Compact rewrites every live record into fresh segments and removes the
-// old files, dropping superseded versions. The store stays usable
-// afterwards.
+// old files, dropping superseded versions. Live records are streamed one
+// source segment at a time — read, copied in offset order, released — so
+// peak memory is one segment, not the store. Output segments are rotated
+// at the store's segment-size threshold and sealed (footered) as they
+// fill; the final, partial one stays unsealed as the new active segment.
+// The store stays usable afterwards — including after a failed compact,
+// which restores the previous active segment and removes any partial
+// output.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	// Snapshot live locations.
-	type kv struct {
-		key string
-		loc location
-	}
-	live := make([]kv, 0, len(s.index))
+	// Group live locations by their home segment; copy order is
+	// (segment, offset) ascending.
+	bySeg := make(map[int][]segEntry)
 	for k, loc := range s.index {
-		live = append(live, kv{k, loc})
+		bySeg[loc.seg] = append(bySeg[loc.seg], segEntry{key: k, off: loc.offset})
 	}
-	sort.Slice(live, func(a, b int) bool { return live[a].key < live[b].key })
+	srcIDs := make([]int, 0, len(bySeg))
+	for id := range bySeg {
+		srcIDs = append(srcIDs, id)
+	}
+	sort.Ints(srcIDs)
+	for _, id := range srcIDs {
+		ents := bySeg[id]
+		sort.Slice(ents, func(a, b int) bool { return ents[a].off < ents[b].off })
+	}
 
 	oldSegs, err := listSegments(s.dir)
 	if err != nil {
 		return err
 	}
-	newID := s.actID + 1
+	oldActID := s.actID
 	if err := s.active.Sync(); err != nil {
 		return err
 	}
 	if err := s.active.Close(); err != nil {
-		return err
+		// The handle is in an unknown state; fall through to the
+		// recovery path, which reopens the segment for append.
+		return s.compactFailLocked(nil, nil, oldActID, err)
 	}
-	f, err := os.OpenFile(s.segPath(newID), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
-	if err != nil {
-		return fmt.Errorf("pagestore: compact segment: %w", err)
-	}
-	newIndex := make(map[string]location, len(live))
-	var offset int64
-	// Cache segment contents while copying.
-	segData := map[int][]byte{}
-	for _, e := range live {
-		data, ok := segData[e.loc.seg]
-		if !ok {
-			data, err = os.ReadFile(s.segPath(e.loc.seg))
-			if err != nil {
-				f.Close()
-				return err
-			}
-			segData[e.loc.seg] = data
-		}
-		recLen, _, err := verifyRecordAt(data, e.loc.offset)
+
+	var (
+		out        *os.File
+		outID      = s.actID
+		outLen     int64
+		outEntries map[string]int64
+		created    []int
+		newIndex   = make(map[string]location, len(s.index))
+		newBlooms  = make(map[int]segBloom)
+	)
+	openOut := func() error {
+		outID++
+		f, err := os.OpenFile(s.segPath(outID), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
 		if err != nil {
-			f.Close()
-			return err
+			return fmt.Errorf("pagestore: compact segment: %w", err)
 		}
-		rec := data[e.loc.offset : e.loc.offset+recLen]
-		if _, err := f.Write(rec); err != nil {
-			f.Close()
-			return fmt.Errorf("pagestore: compact write: %w", err)
+		out = f
+		outLen = 0
+		outEntries = make(map[string]int64)
+		created = append(created, outID)
+		return nil
+	}
+	if err := openOut(); err != nil {
+		return s.compactFailLocked(nil, created, oldActID, err)
+	}
+	for _, sid := range srcIDs {
+		data, err := os.ReadFile(s.segPath(sid))
+		if err != nil {
+			return s.compactFailLocked(out, created, oldActID, err)
 		}
-		newIndex[e.key] = location{seg: newID, offset: offset}
-		offset += recLen
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	// Swap in the new state, delete the old segments.
-	s.active = f
-	s.actID = newID
-	s.actLen = offset
-	s.index = newIndex
-	for _, id := range oldSegs {
-		if id != newID {
-			if err := os.Remove(s.segPath(id)); err != nil {
-				return fmt.Errorf("pagestore: remove old segment: %w", err)
+		for _, e := range bySeg[sid] {
+			recLen, _, err := verifyRecordAt(data, e.off)
+			if err != nil {
+				return s.compactFailLocked(out, created, oldActID, err)
 			}
+			rec := data[e.off : e.off+recLen]
+			if outLen > 0 && outLen+int64(len(rec)) > s.maxSeg {
+				bloom, err := sealFile(out, outEntries, outLen)
+				if err != nil {
+					return s.compactFailLocked(out, created, oldActID, err)
+				}
+				if err := out.Close(); err != nil {
+					return s.compactFailLocked(nil, created, oldActID, err)
+				}
+				newBlooms[outID] = bloom
+				if err := openOut(); err != nil {
+					return s.compactFailLocked(nil, created, oldActID, err)
+				}
+			}
+			if _, err := out.Write(rec); err != nil {
+				return s.compactFailLocked(out, created, oldActID, fmt.Errorf("pagestore: compact write: %w", err))
+			}
+			newIndex[e.key] = location{seg: outID, offset: outLen}
+			outEntries[e.key] = outLen
+			outLen += int64(len(rec))
+		}
+		// data is released here: the next iteration re-binds it, and
+		// nothing retains the previous segment's bytes.
+	}
+	if err := out.Sync(); err != nil {
+		return s.compactFailLocked(out, created, oldActID, err)
+	}
+	// Swap in the new state, delete the old segments. Output ids start
+	// past the old active id, so the two sets never overlap.
+	s.active = out
+	s.actID = outID
+	s.actLen = outLen
+	s.actEntries = outEntries
+	s.index = newIndex
+	s.blooms = newBlooms
+	for _, id := range oldSegs {
+		if err := os.Remove(s.segPath(id)); err != nil {
+			return fmt.Errorf("pagestore: remove old segment: %w", err)
 		}
 	}
 	return nil
+}
+
+// compactFailLocked unwinds a failed compaction: closes and removes any
+// partial output segments, then reopens the previous active segment for
+// append so the store keeps accepting Puts. The index is untouched (it
+// still points at the old segments, which are never deleted on failure).
+func (s *Store) compactFailLocked(out *os.File, created []int, oldActID int, err error) error {
+	if out != nil {
+		if cerr := out.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+	}
+	for _, id := range created {
+		if rerr := os.Remove(s.segPath(id)); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
+	}
+	f, rerr := os.OpenFile(s.segPath(oldActID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if rerr != nil {
+		return errors.Join(err, fmt.Errorf("pagestore: reopen active after failed compact: %w", rerr))
+	}
+	s.active = f
+	s.actID = oldActID
+	return err
 }

@@ -1,0 +1,139 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pagequality/internal/corpus"
+	"pagequality/internal/crawler"
+	"pagequality/internal/pagerank"
+	"pagequality/internal/pagestore"
+	"pagequality/internal/snapshot"
+)
+
+// This file feeds the estimator directly from a crawl archive (a
+// pagestore written by `crawl -archive`), replacing the
+// extract-CLI-then-snapshot-file round trip with one corpus pass per
+// label. Keys follow the archive convention "<label>/<fetch-url>".
+
+// archiveTime is a label's snapshot time: the fetch time of its first
+// document in key order — the same choice cmd/extract makes when -week
+// is not given, so both routes stamp identical times.
+func archiveTime(docs []archived) float64 {
+	return docs[0].week
+}
+
+type archived struct {
+	url  string
+	week float64
+	body []byte
+}
+
+// labelDocs runs one corpus pass and groups every archived document by
+// label, key-ordered within each label.
+func labelDocs(st *pagestore.Store, opts corpus.Options) (map[string][]archived, error) {
+	type rec struct {
+		label string
+		doc   archived
+	}
+	recs, err := corpus.Extract(st, func(d corpus.Doc) (rec, bool) {
+		i := strings.IndexByte(d.Key, '/')
+		if i <= 0 {
+			return rec{}, false // no label prefix: not an archive key
+		}
+		return rec{
+			label: d.Key[:i],
+			doc:   archived{url: d.Key[i+1:], week: d.Meta.FetchedAt, body: d.Body},
+		}, true
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	byLabel := map[string][]archived{}
+	for _, r := range recs {
+		byLabel[r.label] = append(byLabel[r.label], r.doc)
+	}
+	return byLabel, nil
+}
+
+// ArchiveLabels returns the crawl labels present in the archive, ordered
+// by snapshot time (ties broken by label) — the order Align expects.
+func ArchiveLabels(st *pagestore.Store, opts corpus.Options) ([]string, error) {
+	byLabel, err := labelDocs(st, opts)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(a, b int) bool {
+		ta, tb := archiveTime(byLabel[labels[a]]), archiveTime(byLabel[labels[b]])
+		if ta < tb {
+			return true
+		}
+		if tb < ta {
+			return false
+		}
+		return labels[a] < labels[b]
+	})
+	return labels, nil
+}
+
+// SnapshotsFromArchive re-extracts one link-graph snapshot per label
+// from the archived bodies, in the given label order. Each snapshot is
+// byte-identical to what `extract -label <l>` would have written: the
+// documents are assembled in key order with the first document's fetch
+// time as the snapshot time.
+func SnapshotsFromArchive(st *pagestore.Store, labels []string, opts corpus.Options) ([]snapshot.Snapshot, error) {
+	byLabel, err := labelDocs(st, opts)
+	if err != nil {
+		return nil, err
+	}
+	snaps := make([]snapshot.Snapshot, 0, len(labels))
+	for _, label := range labels {
+		docs := byLabel[label]
+		if len(docs) == 0 {
+			return nil, fmt.Errorf("quality: no documents with label %q in archive", label)
+		}
+		cdocs := make([]crawler.Document, len(docs))
+		for i, d := range docs {
+			cdocs[i] = crawler.Document{FetchURL: d.url, Body: d.body}
+		}
+		res, err := crawler.Assemble(cdocs)
+		if err != nil {
+			return nil, fmt.Errorf("quality: label %q: %w", label, err)
+		}
+		snaps = append(snaps, snapshot.Snapshot{Label: label, Time: archiveTime(docs), Graph: res.Graph})
+	}
+	return snaps, nil
+}
+
+// FromArchive runs the full pipeline straight off a crawl archive:
+// re-extract a snapshot per label, align on common pages, then estimate
+// exactly as FromAligned does. With labels nil, every label in the
+// archive participates in time order. Returns the estimate, the full
+// PageRank series and the alignment (for URL lookup).
+func FromArchive(st *pagestore.Store, labels []string, estimationSnaps int, prOpts pagerank.Options, cfg Config, opts corpus.Options) (*Result, [][]float64, *snapshot.Aligned, error) {
+	if labels == nil {
+		var err error
+		labels, err = ArchiveLabels(st, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	snaps, err := SnapshotsFromArchive(st, labels, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	al, err := snapshot.Align(snaps)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, ranks, err := FromAligned(al, estimationSnaps, prOpts, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, ranks, al, nil
+}

@@ -1,0 +1,166 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"pagequality/internal/corpus"
+	"pagequality/internal/crawler"
+	"pagequality/internal/pagerank"
+	"pagequality/internal/pagestore"
+	"pagequality/internal/snapshot"
+)
+
+// buildTestArchive archives three crawls of a small evolving site graph
+// under labels t1..t3 (weeks 1..3), across several pagestore segments.
+func buildTestArchive(t *testing.T) *pagestore.Store {
+	t.Helper()
+	st, err := pagestore.Open(t.TempDir(), pagestore.Options{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	const n = 12
+	url := func(i int) string { return fmt.Sprintf("http://site.test/p%02d", i) }
+	for week := 1; week <= 3; week++ {
+		label := fmt.Sprintf("t%d", week)
+		for i := 0; i < n; i++ {
+			// A ring plus week-dependent chords, so rank evolves.
+			body := fmt.Sprintf(`<html><body><a href="%s">next</a>`, url((i+1)%n))
+			if (i+week)%3 == 0 {
+				body += fmt.Sprintf(`<a href="%s">chord</a>`, url((i+week*2)%n))
+			}
+			body += `</body></html>`
+			key := label + "/" + url(i)
+			if err := st.Put(key, pagestore.Meta{FetchedAt: float64(week), Status: 200}, []byte(body)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return st
+}
+
+// preRefactorPipeline is the route this package replaced: a
+// KeysWithPrefix+Get walk per label (what cmd/extract did), a snapshot
+// store round-trip, then Align + FromAligned.
+func preRefactorPipeline(t *testing.T, st *pagestore.Store, labels []string, estSnaps int, prOpts pagerank.Options, cfg Config) (*Result, [][]float64, *snapshot.Aligned) {
+	t.Helper()
+	var snaps []snapshot.Snapshot
+	for _, label := range labels {
+		prefix := label + "/"
+		keys := st.KeysWithPrefix(prefix)
+		if len(keys) == 0 {
+			t.Fatalf("no keys under %q", prefix)
+		}
+		docs := make([]crawler.Document, 0, len(keys))
+		week := -1.0
+		for _, k := range keys {
+			meta, body, err := st.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if week < 0 {
+				week = meta.FetchedAt
+			}
+			docs = append(docs, crawler.Document{FetchURL: k[len(prefix):], Body: body})
+		}
+		res, err := crawler.Assemble(docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snapshot.Snapshot{Label: label, Time: week, Graph: res.Graph})
+	}
+	al, err := snapshot.Align(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ranks, err := FromAligned(al, estSnaps, prOpts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, ranks, al
+}
+
+func TestArchiveLabels(t *testing.T) {
+	st := buildTestArchive(t)
+	labels, err := ArchiveLabels(st, corpus.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labels, []string{"t1", "t2", "t3"}) {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestSnapshotsFromArchiveMatchExtract(t *testing.T) {
+	st := buildTestArchive(t)
+	labels := []string{"t1", "t2", "t3"}
+	snaps, err := SnapshotsFromArchive(st, labels, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, al := preRefactorPipeline(t, st, labels, 3, pagerank.Options{}, Config{})
+	al2, err := snapshot.Align(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(al2.URLs, al.URLs) || !reflect.DeepEqual(al2.Times, al.Times) {
+		t.Fatal("aligned series differ between archive route and extract route")
+	}
+	for k := range snaps {
+		if snaps[k].Label != labels[k] {
+			t.Fatalf("snapshot %d label %q", k, snaps[k].Label)
+		}
+		if got, want := snaps[k].Graph.AppendBinary(nil), al.Graphs[k]; got == nil || want == nil {
+			t.Fatal("nil graph")
+		}
+	}
+}
+
+// TestFromArchiveMatchesPreRefactorPath pins the acceptance criterion:
+// the archive route's estimate and rank series are Float64bits-identical
+// to the pre-refactor extract-then-align path.
+func TestFromArchiveMatchesPreRefactorPath(t *testing.T) {
+	st := buildTestArchive(t)
+	prOpts := pagerank.Options{Variant: pagerank.VariantPaper}
+	cfg := Config{}
+
+	wantRes, wantRanks, wantAl := preRefactorPipeline(t, st, []string{"t1", "t2", "t3"}, 3, prOpts, cfg)
+
+	for _, workers := range []int{1, 2, 0} {
+		res, ranks, al, err := FromArchive(st, nil, 3, prOpts, cfg, corpus.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(al.URLs, wantAl.URLs) {
+			t.Fatalf("workers=%d: aligned URLs differ", workers)
+		}
+		if len(res.Q) != len(wantRes.Q) {
+			t.Fatalf("workers=%d: %d estimates, want %d", workers, len(res.Q), len(wantRes.Q))
+		}
+		for i := range res.Q {
+			if math.Float64bits(res.Q[i]) != math.Float64bits(wantRes.Q[i]) {
+				t.Fatalf("workers=%d: Q[%d] bits differ", workers, i)
+			}
+		}
+		for k := range ranks {
+			for i := range ranks[k] {
+				if math.Float64bits(ranks[k][i]) != math.Float64bits(wantRanks[k][i]) {
+					t.Fatalf("workers=%d: ranks[%d][%d] bits differ", workers, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFromArchiveErrors(t *testing.T) {
+	st := buildTestArchive(t)
+	if _, _, _, err := FromArchive(st, []string{"nope"}, 2, pagerank.Options{}, Config{}, corpus.Options{}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+	if _, _, _, err := FromArchive(st, nil, 9, pagerank.Options{}, Config{}, corpus.Options{}); err == nil {
+		t.Fatal("estimationSnaps beyond series accepted")
+	}
+}
