@@ -109,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		{"ablation-forgetting", func() error { return ablationForgetting(out, cfg) }},
 		{"ablation-window", func() error { return ablationWindow(out, cfg, writeCSV) }},
 		{"risingstars", func() error { return risingStars(out, cfg) }},
+		{"ranking-policies", func() error { return rankingPolicies(out, cfg, *quick, writeCSV) }},
 		{"multiseed", func() error { return multiSeed(out, cfg) }},
 		{"ablation-estimator", func() error { return ablationEstimator(out, cfg) }},
 		{"ablation-solver", func() error { return ablationSolver(out, cfg) }},
@@ -341,6 +342,34 @@ func risingStars(out io.Writer, cfg experiments.HeadlineConfig) error {
 	fmt.Fprintf(out, "  stars in the top decile at t3: PageRank %d, quality estimate %d\n",
 		res.TopDecilePR, res.TopDecileQ)
 	return nil
+}
+
+func rankingPolicies(out io.Writer, cfg experiments.HeadlineConfig, quick bool, writeCSV csvSink) error {
+	fmt.Fprintln(out, "Ranking feedback loop: one corpus per policy from the same seed (ROADMAP item 3)")
+	pc := experiments.PolicyComparisonConfig{Corpus: cfg.Corpus}
+	if quick {
+		pc.Weeks = 8
+	}
+	res, err := experiments.RankingPolicyComparison(pc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "horizon %.0f weeks after burn-in, seed %d\n\n", res.Weeks, res.Seed)
+	fmt.Fprintf(out, "  %-16s %-7s %-9s %-9s %-9s %-7s %-7s %-7s\n",
+		"policy", "pages", "qwd", "newborn", "ttfv(wk)", "found", "gini", "rho")
+	for _, o := range res.Outcomes {
+		fmt.Fprintf(out, "  %-16s %-7d %-9.4f %-9.4f %-9.2f %-3d/%-3d %-7.4f %-7.4f\n",
+			o.Policy, o.Pages, o.QualityWeightedDiscovery, o.NewbornDiscovery,
+			o.MeanTimeToFirstVisit, o.NewbornsFound, o.HighQNewborns,
+			o.PopularityGini, o.QualityPopCorr)
+	}
+	fmt.Fprintln(out, "\nqwd = quality-weighted discovery (all pages); newborn = same over high-Q newborns")
+	fmt.Fprintln(out, "ttfv = mean weeks from birth to first discovery; rho = Spearman(quality, popularity)")
+	fmt.Fprintln(out, "Pandey/Cho predict randomized >= pagerank on the newborn column; Fortunato/Menczer")
+	fmt.Fprintln(out, "predict search raises the popularity Gini vs the no-search baseline.")
+	return writeCSV("ranking_policies.csv", func(w io.Writer) error {
+		return experiments.WritePolicyComparisonCSV(w, res)
+	})
 }
 
 func ablationEstimator(out io.Writer, cfg experiments.HeadlineConfig) error {

@@ -6,10 +6,15 @@
 //
 //	websim -out web.pqs [-sites 154] [-users 20000] [-seed 1] \
 //	       [-burnin 40] [-birth 30] [-noise 0.01] [-forget 0.01] \
-//	       [-schedule 0,4,8,26]
+//	       [-schedule 0,4,8,26] \
+//	       [-policy none|pagerank|quality|randomized] [-epsilon 0.2] \
+//	       [-sessions-per-week 1500] [-topk 10]
 //
 // The default schedule is the paper's Figure-4 timeline (weeks 0, 4, 8,
-// 26, labelled t1..t4).
+// 26, labelled t1..t4). With -sessions-per-week > 0 the corpus evolves
+// with the search-discovery channel in the loop: users also find pages
+// through a search engine ranked by -policy, closing the feedback loop
+// the paper describes (search starts at week 0, after the burn-in).
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"pagequality/internal/ranking"
 	"pagequality/internal/snapshot"
 	"pagequality/internal/webcorpus"
 )
@@ -46,6 +52,10 @@ func run(args []string, out io.Writer) error {
 		forget   = fs.Float64("forget", 0.01, "per-user forgetting rate per week")
 		schedule = fs.String("schedule", "0,4,8,26", "comma-separated crawl weeks")
 		workers  = fs.Int("workers", 0, "draw-phase workers (0 = GOMAXPROCS); results are identical at every setting")
+		policy   = fs.String("policy", "pagerank", "search ranking policy: none|pagerank|quality|randomized")
+		epsilon  = fs.Float64("epsilon", 0.2, "randomized fraction of result slots (randomized policy only)")
+		sessions = fs.Float64("sessions-per-week", 0, "search query sessions per week (0 = no search channel)")
+		topk     = fs.Int("topk", 10, "results each search session visits")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +72,17 @@ func run(args []string, out io.Writer) error {
 	cfg.NoiseRate = *noise
 	cfg.ForgetRate = *forget
 	cfg.Workers = *workers
+	if *sessions > 0 {
+		pol, err := ranking.Parse(*policy, *epsilon)
+		if err != nil {
+			return err
+		}
+		cfg.Search = webcorpus.SearchConfig{
+			SessionsPerWeek: *sessions,
+			TopK:            *topk,
+			Policy:          pol,
+		}
+	}
 
 	sched, err := parseSchedule(*schedule)
 	if err != nil {
@@ -89,6 +110,10 @@ func run(args []string, out io.Writer) error {
 	for _, s := range snaps {
 		fmt.Fprintf(out, "snapshot %-4s week %5.1f: %d pages, %d links\n",
 			s.Label, s.Time, s.Graph.NumNodes(), s.Graph.NumEdges())
+	}
+	if sess, visits, disc := sim.SearchStats(); sess > 0 {
+		fmt.Fprintf(out, "search channel (%s): %d sessions, %d result visits, %d discoveries\n",
+			cfg.Search.Policy.Name(), sess, visits, disc)
 	}
 	if err := snapshot.WriteFile(*outPath, snaps); err != nil {
 		return err

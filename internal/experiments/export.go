@@ -144,6 +144,32 @@ func WriteWindowCSV(w io.Writer, pts []WindowPoint) error {
 	return cw.Error()
 }
 
+// WritePolicyComparisonCSV emits one row per ranking policy.
+func WritePolicyComparisonCSV(w io.Writer, res *PolicyComparisonResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"policy", "pages", "links", "sessions", "search_visits", "search_discoveries",
+		"quality_weighted_discovery", "highq_newborns", "newborn_discovery",
+		"newborns_found", "mean_time_to_first_visit", "popularity_gini", "quality_pop_corr",
+	}); err != nil {
+		return err
+	}
+	for _, o := range res.Outcomes {
+		if err := cw.Write([]string{
+			o.Policy, strconv.Itoa(o.Pages), strconv.Itoa(o.Links),
+			strconv.FormatInt(o.Sessions, 10), strconv.FormatInt(o.SearchVisits, 10),
+			strconv.FormatInt(o.SearchDiscoveries, 10),
+			formatF(o.QualityWeightedDiscovery), strconv.Itoa(o.HighQNewborns),
+			formatF(o.NewbornDiscovery), strconv.Itoa(o.NewbornsFound),
+			formatF(o.MeanTimeToFirstVisit), formatF(o.PopularityGini), formatF(o.QualityPopCorr),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 func formatF(v float64) string {
 	return strconv.FormatFloat(v, 'g', 10, 64)
 }

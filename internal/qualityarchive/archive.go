@@ -1,4 +1,14 @@
-package quality
+// Package qualityarchive feeds the quality estimator directly from a
+// crawl archive (a pagestore written by `crawl -archive`), replacing the
+// extract-CLI-then-snapshot-file round trip with one corpus pass per
+// label. Keys follow the archive convention "<label>/<fetch-url>".
+//
+// It lives apart from package quality so that the estimator itself stays
+// free of crawl-pipeline dependencies: quality is pure math over PageRank
+// series (and is imported by the simulators for live in-the-loop
+// estimates), while this package is the adapter binding it to the
+// crawler/pagestore/corpus stack.
+package qualityarchive
 
 import (
 	"fmt"
@@ -9,13 +19,9 @@ import (
 	"pagequality/internal/crawler"
 	"pagequality/internal/pagerank"
 	"pagequality/internal/pagestore"
+	"pagequality/internal/quality"
 	"pagequality/internal/snapshot"
 )
-
-// This file feeds the estimator directly from a crawl archive (a
-// pagestore written by `crawl -archive`), replacing the
-// extract-CLI-then-snapshot-file round trip with one corpus pass per
-// label. Keys follow the archive convention "<label>/<fetch-url>".
 
 // archiveTime is a label's snapshot time: the fetch time of its first
 // document in key order — the same choice cmd/extract makes when -week
@@ -95,7 +101,7 @@ func SnapshotsFromArchive(st *pagestore.Store, labels []string, opts corpus.Opti
 	for _, label := range labels {
 		docs := byLabel[label]
 		if len(docs) == 0 {
-			return nil, fmt.Errorf("quality: no documents with label %q in archive", label)
+			return nil, fmt.Errorf("qualityarchive: no documents with label %q in archive", label)
 		}
 		cdocs := make([]crawler.Document, len(docs))
 		for i, d := range docs {
@@ -103,7 +109,7 @@ func SnapshotsFromArchive(st *pagestore.Store, labels []string, opts corpus.Opti
 		}
 		res, err := crawler.Assemble(cdocs)
 		if err != nil {
-			return nil, fmt.Errorf("quality: label %q: %w", label, err)
+			return nil, fmt.Errorf("qualityarchive: label %q: %w", label, err)
 		}
 		snaps = append(snaps, snapshot.Snapshot{Label: label, Time: archiveTime(docs), Graph: res.Graph})
 	}
@@ -115,7 +121,7 @@ func SnapshotsFromArchive(st *pagestore.Store, labels []string, opts corpus.Opti
 // exactly as FromAligned does. With labels nil, every label in the
 // archive participates in time order. Returns the estimate, the full
 // PageRank series and the alignment (for URL lookup).
-func FromArchive(st *pagestore.Store, labels []string, estimationSnaps int, prOpts pagerank.Options, cfg Config, opts corpus.Options) (*Result, [][]float64, *snapshot.Aligned, error) {
+func FromArchive(st *pagestore.Store, labels []string, estimationSnaps int, prOpts pagerank.Options, cfg quality.Config, opts corpus.Options) (*quality.Result, [][]float64, *snapshot.Aligned, error) {
 	if labels == nil {
 		var err error
 		labels, err = ArchiveLabels(st, opts)
@@ -131,7 +137,7 @@ func FromArchive(st *pagestore.Store, labels []string, estimationSnaps int, prOp
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, ranks, err := FromAligned(al, estimationSnaps, prOpts, cfg)
+	res, ranks, err := quality.FromAligned(al, estimationSnaps, prOpts, cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}

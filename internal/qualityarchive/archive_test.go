@@ -1,4 +1,4 @@
-package quality
+package qualityarchive
 
 import (
 	"fmt"
@@ -10,6 +10,7 @@ import (
 	"pagequality/internal/crawler"
 	"pagequality/internal/pagerank"
 	"pagequality/internal/pagestore"
+	"pagequality/internal/quality"
 	"pagequality/internal/snapshot"
 )
 
@@ -45,7 +46,7 @@ func buildTestArchive(t *testing.T) *pagestore.Store {
 // preRefactorPipeline is the route this package replaced: a
 // KeysWithPrefix+Get walk per label (what cmd/extract did), a snapshot
 // store round-trip, then Align + FromAligned.
-func preRefactorPipeline(t *testing.T, st *pagestore.Store, labels []string, estSnaps int, prOpts pagerank.Options, cfg Config) (*Result, [][]float64, *snapshot.Aligned) {
+func preRefactorPipeline(t *testing.T, st *pagestore.Store, labels []string, estSnaps int, prOpts pagerank.Options, cfg quality.Config) (*quality.Result, [][]float64, *snapshot.Aligned) {
 	t.Helper()
 	var snaps []snapshot.Snapshot
 	for _, label := range labels {
@@ -76,7 +77,7 @@ func preRefactorPipeline(t *testing.T, st *pagestore.Store, labels []string, est
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, ranks, err := FromAligned(al, estSnaps, prOpts, cfg)
+	res, ranks, err := quality.FromAligned(al, estSnaps, prOpts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestSnapshotsFromArchiveMatchExtract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, al := preRefactorPipeline(t, st, labels, 3, pagerank.Options{}, Config{})
+	_, _, al := preRefactorPipeline(t, st, labels, 3, pagerank.Options{}, quality.Config{})
 	al2, err := snapshot.Align(snaps)
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +126,7 @@ func TestSnapshotsFromArchiveMatchExtract(t *testing.T) {
 func TestFromArchiveMatchesPreRefactorPath(t *testing.T) {
 	st := buildTestArchive(t)
 	prOpts := pagerank.Options{Variant: pagerank.VariantPaper}
-	cfg := Config{}
+	cfg := quality.Config{}
 
 	wantRes, wantRanks, wantAl := preRefactorPipeline(t, st, []string{"t1", "t2", "t3"}, 3, prOpts, cfg)
 
@@ -157,10 +158,10 @@ func TestFromArchiveMatchesPreRefactorPath(t *testing.T) {
 
 func TestFromArchiveErrors(t *testing.T) {
 	st := buildTestArchive(t)
-	if _, _, _, err := FromArchive(st, []string{"nope"}, 2, pagerank.Options{}, Config{}, corpus.Options{}); err == nil {
+	if _, _, _, err := FromArchive(st, []string{"nope"}, 2, pagerank.Options{}, quality.Config{}, corpus.Options{}); err == nil {
 		t.Fatal("unknown label accepted")
 	}
-	if _, _, _, err := FromArchive(st, nil, 9, pagerank.Options{}, Config{}, corpus.Options{}); err == nil {
+	if _, _, _, err := FromArchive(st, nil, 9, pagerank.Options{}, quality.Config{}, corpus.Options{}); err == nil {
 		t.Fatal("estimationSnaps beyond series accepted")
 	}
 }

@@ -1,0 +1,233 @@
+package ranking
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pagequality/internal/search"
+)
+
+// buildCtx indexes nDocs documents all relevant to "alpha", with
+// PageRank descending in document id and Quality ascending — so the two
+// score-based policies produce opposite orders.
+func buildCtx(t testing.TB, nDocs int) *Context {
+	t.Helper()
+	ix := search.NewIndex()
+	for d := 0; d < nDocs; d++ {
+		ix.Add(fmt.Sprintf("alpha document %d filler words", d))
+	}
+	ix.Freeze()
+	pr := make([]float64, nDocs)
+	q := make([]float64, nDocs)
+	for d := 0; d < nDocs; d++ {
+		pr[d] = float64(nDocs - d)
+		q[d] = float64(d + 1)
+	}
+	return &Context{Index: ix, PageRank: pr, Quality: q, Seed: 42, Tick: 7}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name    string
+		epsilon float64
+		want    string
+		ok      bool
+	}{
+		{"none", 0, "none", true},
+		{"", 0, "none", true},
+		{"pagerank", 0, "pagerank", true},
+		{"Quality", 0, "quality", true},
+		{"randomized", 0.25, "randomized-0.25", true},
+		{"randomized", -0.1, "", false},
+		{"randomized", 1.5, "", false},
+		{"hits", 0, "", false},
+	}
+	for _, tc := range cases {
+		pol, err := Parse(tc.name, tc.epsilon)
+		if tc.ok != (err == nil) {
+			t.Errorf("Parse(%q, %g): err=%v, want ok=%v", tc.name, tc.epsilon, err, tc.ok)
+			continue
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadPolicy) {
+				t.Errorf("Parse(%q): error %v is not ErrBadPolicy", tc.name, err)
+			}
+			continue
+		}
+		if pol.Name() != tc.want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", tc.name, pol.Name(), tc.want)
+		}
+	}
+}
+
+func TestNoneReturnsNothing(t *testing.T) {
+	docs, err := None{}.Rank(buildCtx(t, 10), "alpha", 5)
+	if err != nil || docs != nil {
+		t.Fatalf("None.Rank = %v, %v; want nil, nil", docs, err)
+	}
+}
+
+func TestScorePoliciesOrder(t *testing.T) {
+	ctx := buildCtx(t, 8)
+	byPR, err := ByPageRank{}.Rank(ctx, "alpha", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(byPR, want) {
+		t.Fatalf("ByPageRank order %v, want %v", byPR, want)
+	}
+	byQ, err := ByQuality{}.Rank(ctx, "alpha", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{7, 6, 5, 4}; !reflect.DeepEqual(byQ, want) {
+		t.Fatalf("ByQuality order %v, want %v", byQ, want)
+	}
+}
+
+func TestRankNoHits(t *testing.T) {
+	ctx := buildCtx(t, 5)
+	for _, pol := range []Policy{ByPageRank{}, ByQuality{}, Randomized{Epsilon: 0.5}} {
+		docs, err := pol.Rank(ctx, "nosuchterm", 3)
+		if err != nil || docs != nil {
+			t.Fatalf("%s on empty query: %v, %v", pol.Name(), docs, err)
+		}
+	}
+}
+
+// TestRandomizedEpsilonZeroEquivalence pins the degenerate case of the
+// Pandey/Cho construction: with no exploration slots the partially
+// randomized ranking IS pure score order.
+func TestRandomizedEpsilonZeroEquivalence(t *testing.T) {
+	ctx := buildCtx(t, 40)
+	for _, k := range []int{1, 3, 10, 39, 40, 100} {
+		pure, err := ByPageRank{}.Rank(ctx, "alpha", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rand0, err := Randomized{Epsilon: 0}.Rank(ctx, "alpha", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pure, rand0) {
+			t.Fatalf("k=%d: epsilon=0 order %v differs from pure %v", k, rand0, pure)
+		}
+	}
+}
+
+func TestRandomizedConstruction(t *testing.T) {
+	const nDocs, k = 50, 10
+	const epsilon = 0.3 // 3 of 10 slots randomized
+	ctx := buildCtx(t, nDocs)
+	docs, err := Randomized{Epsilon: epsilon}.Rank(ctx, "alpha", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != k {
+		t.Fatalf("got %d results, want %d", len(docs), k)
+	}
+	// Top (1-eps)k slots are exactly the pure prefix.
+	nTop := k - 3
+	pure, err := ByPageRank{}.Rank(ctx, "alpha", nDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(docs[:nTop], pure[:nTop]) {
+		t.Fatalf("deterministic slots %v differ from pure prefix %v", docs[:nTop], pure[:nTop])
+	}
+	// Exploration slots come from the remainder, without replacement.
+	rest := map[int]bool{}
+	for _, d := range pure[nTop:] {
+		rest[d] = true
+	}
+	seen := map[int]bool{}
+	for _, d := range docs[nTop:] {
+		if !rest[d] {
+			t.Fatalf("exploration slot %d not drawn from the remainder", d)
+		}
+		if seen[d] {
+			t.Fatalf("document %d sampled twice", d)
+		}
+		seen[d] = true
+	}
+
+	// Deterministic per (seed, query, tick)...
+	again, err := Randomized{Epsilon: epsilon}.Rank(ctx, "alpha", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(docs, again) {
+		t.Fatalf("same (ctx, query, k) gave %v then %v", docs, again)
+	}
+	// ...but fresh exploration across ticks: some tick in a small window
+	// must shuffle differently.
+	varied := false
+	for tick := uint64(0); tick < 8 && !varied; tick++ {
+		other := *ctx
+		other.Tick = 1000 + tick
+		got, err := Randomized{Epsilon: epsilon}.Rank(&other, "alpha", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		varied = !reflect.DeepEqual(docs, got)
+	}
+	if !varied {
+		t.Fatal("exploration slots identical across 8 different ticks")
+	}
+}
+
+func TestRandomizedFewerDocsThanSlots(t *testing.T) {
+	ctx := buildCtx(t, 6)
+	docs, err := Randomized{Epsilon: 0.5}.Rank(ctx, "alpha", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 6 {
+		t.Fatalf("got %d results, want all 6 relevant docs", len(docs))
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	ctx := buildCtx(t, 5)
+	if _, err := (ByPageRank{}).Rank(ctx, "alpha", 0); !errors.Is(err, ErrBadPolicy) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := (ByPageRank{}).Rank(nil, "alpha", 3); !errors.Is(err, ErrBadPolicy) {
+		t.Errorf("nil ctx: %v", err)
+	}
+	short := *ctx
+	short.PageRank = short.PageRank[:3]
+	if _, err := (ByPageRank{}).Rank(&short, "alpha", 3); !errors.Is(err, ErrBadPolicy) {
+		t.Errorf("score length mismatch: %v", err)
+	}
+	if _, err := (Randomized{Epsilon: 1.5}).Rank(ctx, "alpha", 3); !errors.Is(err, ErrBadPolicy) {
+		t.Errorf("bad epsilon: %v", err)
+	}
+}
+
+func BenchmarkRandomizedRank(b *testing.B) {
+	ctx := buildCtx(b, 2000)
+	pol := Randomized{Epsilon: 0.2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Tick = uint64(i)
+		if _, err := pol.Rank(ctx, "alpha", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkByPageRankRank(b *testing.B) {
+	ctx := buildCtx(b, 2000)
+	pol := ByPageRank{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Rank(ctx, "alpha", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

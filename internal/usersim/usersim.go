@@ -11,6 +11,7 @@ package usersim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"pagequality/internal/bitset"
@@ -86,6 +87,7 @@ type Sim struct {
 	// pos[u] is the index of user u in awareList, or -1.
 	pos       []int32
 	nLikes    int
+	tick      uint64 // completed steps; the clock is derived as tick*DT
 	time      float64
 	visits    int64 // cumulative visit count
 	discovers int64 // visits that were first discoveries
@@ -189,12 +191,18 @@ func (s *Sim) Step() {
 			s.removeAware(u)
 		}
 	}
-	s.time += s.cfg.DT
+	// Derive the clock instead of accumulating it: time stays exactly
+	// tick*DT, so tick counts match round(tMax/DT) at any horizon instead
+	// of drifting by an ulp per step.
+	s.tick++
+	s.time = float64(s.tick) * s.cfg.DT
 }
 
 // Run advances the simulation to tMax, recording the popularity after
 // every sampleEvery-th step (and the initial state), and returns the
-// trajectory.
+// trajectory. The terminal sample is always included, so the trajectory
+// ends exactly at the step reaching tMax even when the step count is not
+// a multiple of sampleEvery.
 func (s *Sim) Run(tMax float64, sampleEvery int) (model.Trajectory, error) {
 	if tMax <= s.time {
 		return model.Trajectory{}, fmt.Errorf("%w: tMax=%g not beyond current time %g", ErrBadConfig, tMax, s.time)
@@ -202,12 +210,16 @@ func (s *Sim) Run(tMax float64, sampleEvery int) (model.Trajectory, error) {
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
+	// The step count is fixed up front from the drift-free clock: exactly
+	// round((tMax-time)/DT) steps, never off by one from FP accumulation.
+	steps := int(math.Round((tMax - s.time) / s.cfg.DT))
+	if steps < 1 {
+		steps = 1
+	}
 	tr := model.Trajectory{T: []float64{s.time}, P: []float64{s.Popularity()}}
-	step := 0
-	for s.time < tMax {
+	for i := 1; i <= steps; i++ {
 		s.Step()
-		step++
-		if step%sampleEvery == 0 {
+		if i%sampleEvery == 0 || i == steps {
 			tr.T = append(tr.T, s.time)
 			tr.P = append(tr.P, s.Popularity())
 		}

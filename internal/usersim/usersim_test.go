@@ -249,3 +249,82 @@ func BenchmarkStep(b *testing.B) {
 		s.Step()
 	}
 }
+
+// TestRunTerminalSample is the regression test for the dropped-endpoint
+// bug: when the step count is not a multiple of sampleEvery, the
+// trajectory used to end before tMax, biasing every convergence
+// comparison against internal/model.
+func TestRunTerminalSample(t *testing.T) {
+	cfg := Config{Users: 500, VisitRate: 500, Quality: 0.6, InitialLikes: 5, DT: 0.05, Seed: 3}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 steps; 20 % 7 != 0, so the old code dropped the final sample.
+	tr, err := s.Run(1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples: initial state, steps 7 and 14, and the terminal step 20.
+	if len(tr.T) != 4 {
+		t.Fatalf("trajectory has %d samples, want 4 (initial, 7, 14, terminal): %v", len(tr.T), tr.T)
+	}
+	last := tr.T[len(tr.T)-1]
+	if math.Abs(last-1.0) > 1e-12 {
+		t.Fatalf("trajectory ends at t=%v, want tMax=1", last)
+	}
+	//pqlint:allow floateq the terminal sample must be the exact final state, not a nearby one
+	if got := s.Popularity(); tr.P[len(tr.P)-1] != got {
+		t.Fatalf("terminal sample %v is not the final popularity %v", tr.P[len(tr.P)-1], got)
+	}
+
+	// A step count that IS a multiple of sampleEvery must not duplicate
+	// the terminal sample.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := s2.Run(0.7, 7) // 14 steps: samples at 7 and 14 only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.T) != 3 {
+		t.Fatalf("aligned run has %d samples, want 3: %v", len(tr2.T), tr2.T)
+	}
+	if tr2.T[1] >= tr2.T[2] {
+		t.Fatalf("duplicate terminal sample: %v", tr2.T)
+	}
+}
+
+// TestTickCountDriftFree10k pins the clock bugfix at a long horizon: with
+// an inexact DT, 10k+ accumulated additions drift by ulps and the old
+// strict `time < tMax` loop could run a step too many or too few. The
+// derived clock must take exactly round(tMax/DT) steps.
+func TestTickCountDriftFree10k(t *testing.T) {
+	cfg := Config{Users: 50, VisitRate: 1, Quality: 0.5, InitialLikes: 1, DT: 0.003, Seed: 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tMax = 30.0
+	wantSteps := uint64(math.Round(tMax / cfg.DT)) // 10000
+	if wantSteps != 10000 {
+		t.Fatalf("test setup: want 10000 steps, computed %d", wantSteps)
+	}
+	tr, err := s.Run(tMax, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.tick != wantSteps {
+		t.Fatalf("took %d ticks, want %d", s.tick, wantSteps)
+	}
+	if want := float64(wantSteps) * cfg.DT; math.Float64bits(s.time) != math.Float64bits(want) {
+		t.Fatalf("clock %v, want derived %v", s.time, want)
+	}
+	if len(tr.T) != int(wantSteps)+1 {
+		t.Fatalf("trajectory has %d samples, want %d", len(tr.T), wantSteps+1)
+	}
+	if math.Abs(tr.T[len(tr.T)-1]-tMax) > 1e-9 {
+		t.Fatalf("trajectory ends at %v, want %v", tr.T[len(tr.T)-1], tMax)
+	}
+}

@@ -28,13 +28,16 @@ package webcorpus
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"pagequality/internal/graph"
+	"pagequality/internal/loadgen"
 	"pagequality/internal/randx"
+	"pagequality/internal/ranking"
 	"pagequality/internal/snapshot"
 )
 
@@ -85,6 +88,9 @@ type Config struct {
 	// is bitwise identical for every setting: each page draws from its own
 	// counter-based stream, so no result depends on scheduling.
 	Workers int
+	// Search configures the search-discovery channel (see search.go); the
+	// zero value disables it and the corpus evolves exactly as before.
+	Search SearchConfig
 }
 
 // DefaultConfig returns a laptop-scale configuration mirroring the paper's
@@ -144,7 +150,7 @@ func (c *Config) fill() error {
 	case c.Workers < 0:
 		return fmt.Errorf("%w: Workers=%d", ErrBadConfig, c.Workers)
 	}
-	return nil
+	return c.Search.fill()
 }
 
 // Stream-key space of the corpus. Page ids are dense uint32 values, so
@@ -153,7 +159,12 @@ const (
 	keyTick   = 1 << 32 // per-tick serial events (churn, births)
 	keySetup  = keyTick + 1
 	keyInject = keyTick + 2 // BirthPage injections, tick = page sequence
+	keySearch = keyTick + 3 // per-tick search sessions
 )
+
+// timeSlack absorbs FP rounding when comparing times derived from the
+// exact tick clock against caller-supplied targets.
+const timeSlack = 1e-9
 
 // Sim is a running corpus simulation. The underlying graph only ever
 // grows nodes (pages are never deleted, matching a crawler that keeps
@@ -168,6 +179,9 @@ type Sim struct {
 	quality []float64 // cached Page.Quality (immutable per page)
 	// sitePages[s] lists the pages of site s (link-source sampling).
 	sitePages [][]graph.NodeID
+	// firstDisc[p] is the tick at which page p was first discovered by a
+	// user beyond its seed liker (either channel), -1 if never.
+	firstDisc []int64
 	time      float64
 	tick      uint64 // ticks since construction; keys the per-tick streams
 	pageSeq   int
@@ -177,6 +191,16 @@ type Sim struct {
 	linkAdds []int32        // links to create toward the page this tick
 	linkDels []int32        // links to withdraw from the page this tick
 	streams  []randx.Stream // per-page stream state after the draw phase
+
+	// Search-discovery channel state (see search.go); nil/zero when the
+	// channel is disabled.
+	workload     *loadgen.Workload
+	rank         *ranking.Context
+	prevPR       []float64 // PageRank vector of the previous refresh
+	refreshTicks uint64
+	nextRefresh  uint64
+	searchSeq    uint64 // workload request counter
+	searchSessions, searchVisits, searchDiscoveries int64
 }
 
 // New builds the corpus, runs the burn-in, and leaves the simulation at
@@ -195,6 +219,9 @@ func New(cfg Config) (*Sim, error) {
 		g:         graph.New(cfg.Sites * cfg.InitialPagesPerSite * 2),
 		sitePages: make([][]graph.NodeID, cfg.Sites),
 		time:      -cfg.BurnInWeeks,
+	}
+	if err := s.initSearch(); err != nil {
+		return nil, err
 	}
 	setup := randx.NewStream(cfg.Seed, keySetup, 0)
 	for site := 0; site < cfg.Sites; site++ {
@@ -255,6 +282,7 @@ func (s *Sim) birthPageQ(src randx.Source, site int, created, q float64) graph.N
 	s.aware = append(s.aware, 1)
 	s.likes = append(s.likes, 1)
 	s.quality = append(s.quality, q)
+	s.firstDisc = append(s.firstDisc, -1)
 	s.sitePages[site] = append(s.sitePages[site], id)
 	// The seed liker publishes the page's first in-link.
 	s.createLinkTo(src, id)
@@ -331,6 +359,11 @@ func (s *Sim) Popularity(p graph.NodeID) float64 {
 	return s.likes[p] / float64(s.cfg.Users)
 }
 
+// Awareness returns A(p,t) = aware/n of page p (Definition 4).
+func (s *Sim) Awareness(p graph.NodeID) float64 {
+	return s.aware[p] / float64(s.cfg.Users)
+}
+
 // Quality returns the ground-truth quality of page p.
 func (s *Sim) Quality(p graph.NodeID) float64 {
 	return s.g.Page(p).Quality
@@ -401,8 +434,15 @@ func (s *Sim) Step() {
 			s.birthPage(&tst, site, s.time)
 		}
 	}
-	s.time += cfg.DT
+	// Search sessions: the third tick-level event, after churn and births
+	// so newborn pages can be crawled at the very next refresh.
+	if cfg.Search.enabled() {
+		s.stepSearch()
+	}
+	// The clock is derived, not accumulated: tick counts stay exact at any
+	// horizon instead of drifting by one ulp per step.
 	s.tick++
+	s.time = float64(s.tick)*cfg.DT - cfg.BurnInWeeks
 }
 
 // growScratch sizes the per-page scratch slices for this tick, with 50%
@@ -486,6 +526,10 @@ func (s *Sim) drawRange(lo, hi int) {
 				}
 				if discoveries > 0 {
 					aware[p] += float64(discoveries)
+					if s.firstDisc[p] < 0 {
+						// Per-page slot in a worker-disjoint range: race-free.
+						s.firstDisc[p] = int64(s.tick)
+					}
 					newLikes := randx.Binomial(st, discoveries, quality[p])
 					if room := int(aware[p] - likes[p]); newLikes > room {
 						newLikes = room
@@ -514,9 +558,14 @@ func (s *Sim) drawRange(lo, hi int) {
 	}
 }
 
-// AdvanceTo steps the simulation until the clock reaches t.
+// AdvanceTo steps the simulation until the clock reaches t. The step
+// count is computed up front from the drift-free tick clock, so the
+// number of ticks taken to reach any horizon is exactly
+// ceil((t - time)/DT) regardless of how the horizon is split across
+// calls.
 func (s *Sim) AdvanceTo(t float64) {
-	for s.time < t-1e-9 {
+	steps := int(math.Ceil((t - s.time) / s.cfg.DT * (1 - timeSlack)))
+	for i := 0; i < steps; i++ {
 		s.Step()
 	}
 }

@@ -338,33 +338,53 @@ func TestStepWorkerCountInvariance(t *testing.T) {
 // Regression test for the normal-approximation overshoot: with a tiny user
 // population and a huge visit rate, the unclamped draw phase pushed aware
 // and likes past Users, so Popularity() exceeded 1. Drive that regime hard
-// and assert the invariants every tick.
+// and assert the invariants every tick — with and without the search
+// channel, whose session visits must respect the same
+// likes <= aware <= Users clamps as organic draws.
 func TestPopularityClampedTinyUsers(t *testing.T) {
-	cfg := smallConfig()
-	cfg.Users = 12
-	cfg.VisitRate = 50000 // enormous visit pressure on 12 users
-	cfg.QualityAlpha = 60 // qualities near 1: almost every discovery likes
-	cfg.QualityBeta = 1
-	cfg.BurnInWeeks = 0
-	s, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := float64(cfg.Users)
-	for tick := 0; tick < 200; tick++ {
-		s.Step()
-		for p := 0; p < s.NumPages(); p++ {
-			id := graph.NodeID(p)
-			if s.aware[p] > n {
-				t.Fatalf("tick %d page %d: aware %g exceeds Users %g", tick, p, s.aware[p], n)
-			}
-			if s.likes[p] > s.aware[p] {
-				t.Fatalf("tick %d page %d: likes %g exceeds aware %g", tick, p, s.likes[p], s.aware[p])
-			}
-			if pop := s.Popularity(id); pop < 0 || pop > 1 {
-				t.Fatalf("tick %d page %d: popularity %g outside [0,1]", tick, p, pop)
-			}
+	for _, searched := range []bool{false, true} {
+		name := "organic-only"
+		if searched {
+			name = "with-search"
 		}
+		t.Run(name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Users = 12
+			cfg.VisitRate = 50000 // enormous visit pressure on 12 users
+			cfg.QualityAlpha = 60 // qualities near 1: almost every discovery likes
+			cfg.QualityBeta = 1
+			cfg.BurnInWeeks = 0
+			if searched {
+				// Heavy session traffic funnelling everyone to the same
+				// top results, so search alone could blow the clamps.
+				cfg.Search = SearchConfig{SessionsPerWeek: 2000, TopK: 8}
+			}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := float64(cfg.Users)
+			for tick := 0; tick < 200; tick++ {
+				s.Step()
+				for p := 0; p < s.NumPages(); p++ {
+					id := graph.NodeID(p)
+					if s.aware[p] > n {
+						t.Fatalf("tick %d page %d: aware %g exceeds Users %g", tick, p, s.aware[p], n)
+					}
+					if s.likes[p] > s.aware[p] {
+						t.Fatalf("tick %d page %d: likes %g exceeds aware %g", tick, p, s.likes[p], s.aware[p])
+					}
+					if pop := s.Popularity(id); pop < 0 || pop > 1 {
+						t.Fatalf("tick %d page %d: popularity %g outside [0,1]", tick, p, pop)
+					}
+				}
+			}
+			if searched {
+				if sess, _, _ := s.SearchStats(); sess == 0 {
+					t.Fatal("search channel never fired in the clamp test")
+				}
+			}
+		})
 	}
 }
 
